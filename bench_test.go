@@ -1,0 +1,297 @@
+package relaxreplay
+
+import (
+	"fmt"
+	"testing"
+
+	"relaxreplay/internal/core"
+	"relaxreplay/internal/experiments"
+	"relaxreplay/internal/machine"
+)
+
+// One benchmark per table/figure of the paper's evaluation (§5). Each
+// regenerates the figure's data on the simulated multicore and reports
+// the headline numbers as benchmark metrics; `cmd/rrbench` prints the
+// full per-application tables. Verification is enabled, so every
+// benchmark run also proves RnR soundness end to end.
+//
+// Ablation benchmarks at the bottom sweep the design parameters called
+// out in DESIGN.md §5.
+
+func benchSuite(scale int) *experiments.Suite {
+	opts := experiments.DefaultOptions()
+	opts.Scale = scale
+	return experiments.NewSuite(opts)
+}
+
+// BenchmarkTable1 exercises the default machine configuration end to
+// end on one kernel (the parameters themselves are asserted in tests).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(1)
+		run, err := s.Record("fft", core.Opt, experiments.I4K, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(run.Res.Cycles), "cycles")
+		b.ReportMetric(float64(run.Instructions()), "instructions")
+	}
+}
+
+// BenchmarkFig1 measures the fraction of memory accesses performed out
+// of program order (paper: 59% loads, 3% stores on average).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(2)
+		rows, _, err := s.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := rows[len(rows)-1]
+		b.ReportMetric(avg.OOOLoads*100, "oooLoads%")
+		b.ReportMetric(avg.OOOStores*100, "oooStores%")
+	}
+}
+
+// BenchmarkFig9 measures the fraction of accesses logged as reordered
+// (paper averages: Base 1.7%/0.17% at 4K/INF, Opt 0.03%).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(2)
+		rows, _, err := s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := rows[len(rows)-1]
+		b.ReportMetric(avg.Base4K*100, "base4K%")
+		b.ReportMetric(avg.Opt4K*100, "opt4K%")
+		b.ReportMetric(avg.BaseINF*100, "baseINF%")
+		b.ReportMetric(avg.OptINF*100, "optINF%")
+	}
+}
+
+// BenchmarkFig10 measures InorderBlock entries, Opt normalized to Base
+// (paper averages: 13% at 4K, 48% at INF).
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(2)
+		rows, _, err := s.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := rows[len(rows)-1]
+		b.ReportMetric(avg.Opt4KNorm*100, "optVsBase4K%")
+		b.ReportMetric(avg.OptINFNorm*100, "optVsBaseINF%")
+	}
+}
+
+// BenchmarkFig11 measures uncompressed log bits per 1K instructions
+// (paper averages: Base 360/42, Opt 22/12 at 4K/INF) and the log rate.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(2)
+		rows, _, err := s.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := rows[len(rows)-1]
+		b.ReportMetric(avg.Base4KBits, "base4K-bits/1K")
+		b.ReportMetric(avg.Opt4KBits, "opt4K-bits/1K")
+		b.ReportMetric(avg.OptINFBits, "optINF-bits/1K")
+		b.ReportMetric(avg.Opt4KMBps, "opt4K-MB/s")
+	}
+}
+
+// BenchmarkFig12 measures TRAQ occupancy (paper: average below 64 of
+// 176 entries everywhere).
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(2)
+		rows, _, err := s.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxAvg, sum float64
+		for _, r := range rows {
+			sum += r.Average
+			if r.Average > maxAvg {
+				maxAvg = r.Average
+			}
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avgOccupancy")
+		b.ReportMetric(maxAvg, "maxAvgOccupancy")
+	}
+}
+
+// BenchmarkFig13 measures sequential replay time normalized to
+// parallel recording (paper averages: Opt 8.5x/6.7x, Base 26.2x/8.6x
+// at 4K/INF), verifying determinism of every replay.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(2)
+		rows, _, err := s.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report := map[string][]float64{}
+		for _, r := range rows {
+			key := fmt.Sprintf("%v%v", r.Variant, r.Mode)
+			report[key] = append(report[key], r.NormTotal)
+		}
+		for key, vs := range report {
+			var sum float64
+			for _, v := range vs {
+				sum += v
+			}
+			b.ReportMetric(sum/float64(len(vs)), key+"-x")
+		}
+	}
+}
+
+// BenchmarkFig14 measures scalability with 4, 8 and 16 cores (paper:
+// reordered fraction and log rate grow with core count, not
+// exponentially).
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(1)
+		rows, _, err := s.Figure14([]int{4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Variant == core.Opt && r.Mode == experiments.INF {
+				b.ReportMetric(r.ReorderedPct*100, fmt.Sprintf("optINF-P%d-reord%%", r.Cores))
+				b.ReportMetric(r.LogMBps, fmt.Sprintf("optINF-P%d-MB/s", r.Cores))
+			}
+		}
+	}
+}
+
+// Ablation benchmarks -------------------------------------------------------
+
+// ablationRecord records one kernel under cfg and reports log size
+// and reordered counts.
+func ablationRecord(b *testing.B, cfg Config, app, label string) {
+	b.Helper()
+	w := MustKernel(app, cfg.Cores, 2)
+	rec, err := Record(cfg, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rec.Replay(); err != nil {
+		b.Fatal(err) // every ablation point must stay sound
+	}
+	b.ReportMetric(float64(rec.LogSizeBits())*1000/float64(rec.Instructions()), label+"-bits/1K")
+	b.ReportMetric(float64(rec.ReorderedAccesses()), label+"-reordered")
+}
+
+// BenchmarkAblationSnoopTable sweeps the Snoop Table geometry: smaller
+// tables alias more and declare more accesses reordered.
+func BenchmarkAblationSnoopTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, entries := range []int{8, 16, 64, 256} {
+			cfg := DefaultConfig()
+			cfg.Cores = 8
+			cfg.SnoopTableEntries = entries
+			ablationRecord(b, cfg, "fft", fmt.Sprintf("entries%d", entries))
+		}
+	}
+}
+
+// BenchmarkAblationIntervalSize sweeps the maximum interval size
+// between the paper's 4K and INF endpoints.
+func BenchmarkAblationIntervalSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, max := range []uint64{256, 1024, 4096, 16384, 0} {
+			cfg := DefaultConfig()
+			cfg.Cores = 8
+			cfg.MaxIntervalInstrs = max
+			label := fmt.Sprintf("max%d", max)
+			if max == 0 {
+				label = "maxINF"
+			}
+			ablationRecord(b, cfg, "fft", label)
+		}
+	}
+}
+
+// BenchmarkAblationSignatureBits sweeps the interval signature size on
+// barnes (whose per-interval footprints are large enough to saturate
+// small signatures): tighter Bloom filters terminate intervals on
+// false conflicts and inflate the log.
+func BenchmarkAblationSignatureBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bits := range []int{64, 256, 1024} {
+			cfg := DefaultConfig()
+			cfg.Cores = 8
+			cfg.SignatureBits = bits
+			ablationRecord(b, cfg, "barnes", fmt.Sprintf("sig%d", bits))
+		}
+	}
+}
+
+// BenchmarkAblationTRAQDepth sweeps the TRAQ size: small queues stall
+// dispatch (paper §5.3 argues 176 entries leave stalls negligible).
+func BenchmarkAblationTRAQDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, size := range []int{16, 64, 176} {
+			cfg := DefaultConfig()
+			cfg.Cores = 8
+			cfg.TRAQSize = size
+			w := MustKernel("fft", cfg.Cores, 2)
+			rec, err := Record(cfg, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rec.Replay(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rec.Cycles()), fmt.Sprintf("traq%d-cycles", size))
+		}
+	}
+}
+
+// BenchmarkRecordingOverhead measures simulator throughput for the
+// recording path itself (instructions simulated per second).
+func BenchmarkRecordingOverhead(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Cores = 8
+	w := MustKernel("ocean", cfg.Cores, 2)
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		rec, err := Record(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += rec.Instructions()
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkAblationCountBandwidth sweeps the TRAQ counting bandwidth
+// (the paper reads the TRAQ twice per cycle): starving the counting
+// stage lengthens the perform-to-count window and inflates reordered
+// accesses.
+func BenchmarkAblationCountBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bw := range []int{1, 2, 4} {
+			rcfg := core.DefaultConfig(core.Opt)
+			rcfg.CountPerCycle = bw
+			w := MustKernel("fft", 8, 2)
+			res, err := core.Record(machineCfg8(), rcfg, core.Workload{
+				Name: w.Name, Progs: w.Progs, Inputs: w.Inputs, InitMem: w.InitMem,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var reord uint64
+			for _, st := range res.RecStats {
+				reord += st.ReorderedLoads + st.ReorderedStores + st.ReorderedAtomics
+			}
+			b.ReportMetric(float64(reord), fmt.Sprintf("count%d-reordered", bw))
+		}
+	}
+}
+
+func machineCfg8() machine.Config { return machine.DefaultConfig(8) }

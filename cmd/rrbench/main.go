@@ -1,0 +1,134 @@
+// Command rrbench regenerates the paper's evaluation tables and
+// figures (Table 1, Figures 1 and 9-14) on the simulated multicore.
+//
+// Usage:
+//
+//	rrbench [-cores 8] [-scale 3] [-apps fft,lu,...] [-protocol snoopy|directory]
+//	        [-fig all|table1,1,9,10,11,12,13,14] [-noverify]
+//
+// Every recording is replay-verified against the recorded execution
+// unless -noverify is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relaxreplay/internal/coherence"
+	"relaxreplay/internal/experiments"
+)
+
+func main() {
+	cores := flag.Int("cores", 8, "number of simulated cores")
+	scale := flag.Int("scale", 3, "workload problem-size multiplier")
+	apps := flag.String("apps", "", "comma-separated kernel subset (default: all)")
+	protocol := flag.String("protocol", "snoopy", "coherence protocol: snoopy or directory")
+	figs := flag.String("fig", "all", "figures to regenerate (comma-separated)")
+	noverify := flag.Bool("noverify", false, "skip replay verification of each recording")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Cores = *cores
+	opts.Scale = *scale
+	opts.Verify = !*noverify
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	switch *protocol {
+	case "snoopy":
+		opts.Protocol = coherence.Snoopy
+	case "directory":
+		opts.Protocol = coherence.Directory
+	default:
+		fatal(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	s := experiments.NewSuite(opts)
+
+	if all || want["table1"] {
+		fmt.Println(s.Table1())
+	}
+	show := func(name string, f func() error) {
+		if all || want[name] {
+			if err := f(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	show("1", func() error {
+		_, t, err := s.Figure1()
+		return show2(t, err)
+	})
+	show("9", func() error {
+		_, t, err := s.Figure9()
+		return show2(t, err)
+	})
+	show("10", func() error {
+		_, t, err := s.Figure10()
+		return show2(t, err)
+	})
+	show("11", func() error {
+		_, t, err := s.Figure11()
+		return show2(t, err)
+	})
+	show("12", func() error {
+		_, t, err := s.Figure12()
+		if err := show2(t, err); err != nil {
+			return err
+		}
+		reps := []string{"fft", "lu", "radix", "ocean"}
+		if opts.Apps != nil {
+			reps = opts.Apps
+			if len(reps) > 4 {
+				reps = reps[:4]
+			}
+		}
+		h, err := s.Figure12Histograms(reps)
+		return show2(h, err)
+	})
+	show("13", func() error {
+		_, t, err := s.Figure13()
+		return show2(t, err)
+	})
+	show("14", func() error {
+		counts := []int{4, 8, 16}
+		_, t, err := s.Figure14(counts)
+		return show2(t, err)
+	})
+	show("parallel", func() error {
+		_, t, err := s.ExtensionParallelReplay()
+		return show2(t, err)
+	})
+	show("overhead", func() error {
+		_, t, err := s.Section53RecordingOverhead()
+		return show2(t, err)
+	})
+	show("motivation", func() error {
+		_, t, err := s.MotivationSCRecorder()
+		return show2(t, err)
+	})
+	show("models", func() error {
+		_, t, err := s.ExtensionModelSweep()
+		return show2(t, err)
+	})
+}
+
+func show2(t fmt.Stringer, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command rrlog inspects a RelaxReplay log written by rrsim.
+//
+// Usage:
+//
+//	rrlog -log fft.rrlog [-dump] [-core 3] [-patch]
+//
+// Without -dump it prints summary statistics (per-core interval and
+// entry counts, size accounting, reorder histogram). With -dump it
+// prints every interval record in a readable form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"relaxreplay"
+	"relaxreplay/internal/replaylog"
+	"relaxreplay/internal/stats"
+)
+
+func main() {
+	logPath := flag.String("log", "", "log file written by rrsim -o")
+	dump := flag.Bool("dump", false, "dump every interval record")
+	onlyCore := flag.Int("core", -1, "restrict -dump to one core")
+	patch := flag.Bool("patch", false, "apply the patching pass before inspecting")
+	flag.Parse()
+
+	if *logPath == "" {
+		fatal(fmt.Errorf("-log is required"))
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	log, err := relaxreplay.ReadLog(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *patch && !log.Patched {
+		log, err = log.Patch()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := log.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rrlog: WARNING: log fails validation:", err)
+	}
+
+	fmt.Printf("log: %d cores, variant %s, patched=%v\n", log.Cores, log.Variant, log.Patched)
+	fmt.Printf("instructions: %d; uncompressed size: %d bits (%.1f bits/1K instructions)\n",
+		log.Instructions(), log.SizeBits(),
+		float64(log.SizeBits())*1000/float64(max64(log.Instructions(), 1)))
+
+	t := stats.NewTable("per-core summary",
+		"core", "intervals", "instrs", "blocks", "reord ld", "reord st", "reord amo", "dummies", "preds")
+	for _, s := range log.Streams {
+		var instrs uint64
+		counts := map[replaylog.EntryType]int{}
+		preds := 0
+		for i := range s.Intervals {
+			iv := &s.Intervals[i]
+			instrs += iv.Instructions()
+			preds += len(iv.Preds)
+			for _, e := range iv.Entries {
+				counts[e.Type]++
+			}
+		}
+		t.AddRow(fmt.Sprint(s.Core), fmt.Sprint(len(s.Intervals)), fmt.Sprint(instrs),
+			fmt.Sprint(counts[replaylog.InorderBlock]),
+			fmt.Sprint(counts[replaylog.ReorderedLoad]),
+			fmt.Sprint(counts[replaylog.ReorderedStore]+counts[replaylog.PatchedStore]),
+			fmt.Sprint(counts[replaylog.ReorderedAtomic]),
+			fmt.Sprint(counts[replaylog.Dummy]),
+			fmt.Sprint(preds))
+	}
+	fmt.Println()
+	fmt.Println(t)
+
+	if !*dump {
+		return
+	}
+	for _, s := range log.Streams {
+		if *onlyCore >= 0 && s.Core != *onlyCore {
+			continue
+		}
+		for i := range s.Intervals {
+			iv := &s.Intervals[i]
+			fmt.Printf("core %d interval %d (cisn %d, ts %d", s.Core, i, iv.CISN, iv.Timestamp)
+			for _, p := range iv.Preds {
+				fmt.Printf(", after c%d/i%d", p.Core, p.Seq)
+			}
+			fmt.Print(")\n")
+			for _, e := range iv.Entries {
+				switch e.Type {
+				case replaylog.InorderBlock:
+					fmt.Printf("  InorderBlock      %d instructions\n", e.Size)
+				case replaylog.ReorderedLoad:
+					fmt.Printf("  ReorderedLoad     value=%d\n", e.Value)
+				case replaylog.ReorderedStore:
+					fmt.Printf("  ReorderedStore    [%#x]=%d offset=%d\n", e.Addr, e.Value, e.Offset)
+				case replaylog.PatchedStore:
+					fmt.Printf("  PatchedStore      [%#x]=%d\n", e.Addr, e.Value)
+				case replaylog.ReorderedAtomic:
+					fmt.Printf("  ReorderedAtomic   [%#x] loaded=%d stored=%d wrote=%v offset=%d\n",
+						e.Addr, e.Value, e.StoreValue, e.DidWrite, e.Offset)
+				case replaylog.Dummy:
+					fmt.Printf("  Dummy             (skip one store)\n")
+				}
+			}
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrlog:", err)
+	os.Exit(1)
+}

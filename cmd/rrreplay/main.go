@@ -1,0 +1,76 @@
+// Command rrreplay deterministically replays a log written by rrsim.
+// The workload binary is rebuilt from its name (logs do not embed
+// programs, exactly as the paper's logs do not embed the application),
+// so -app/-cores/-scale must match the recording.
+//
+// Usage:
+//
+//	rrreplay -log fft.rrlog -app fft [-cores 8] [-scale 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relaxreplay"
+)
+
+func main() {
+	logPath := flag.String("log", "", "log file written by rrsim -o")
+	app := flag.String("app", "fft", "workload recorded: kernel name or litmus:<name>")
+	cores := flag.Int("cores", 8, "core count used at recording")
+	scale := flag.Int("scale", 3, "problem scale used at recording")
+	flag.Parse()
+
+	if *logPath == "" {
+		fatal(fmt.Errorf("-log is required"))
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	log, err := relaxreplay.ReadLog(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w relaxreplay.Workload
+	var check func(map[uint64]uint64) error
+	if name, ok := strings.CutPrefix(*app, "litmus:"); ok {
+		l, err := relaxreplay.LitmusByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		w = l.Workload
+	} else {
+		w, check, err = relaxreplay.BuildKernel(*app, *cores, *scale)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if log.Cores != len(w.Progs) {
+		fatal(fmt.Errorf("log has %d cores but workload has %d threads (check -cores/-scale)",
+			log.Cores, len(w.Progs)))
+	}
+
+	rep, err := relaxreplay.ReplayLog(log, w)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d intervals, modeled time %d cycles (user %d + OS %d)\n",
+		rep.Intervals, rep.Timing.Total(), rep.Timing.UserCycles, rep.Timing.OSCycles)
+	if check != nil {
+		if err := check(rep.FinalMemory); err != nil {
+			fatal(fmt.Errorf("replayed memory fails the workload oracle: %w", err))
+		}
+		fmt.Println("replayed memory passes the workload oracle")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrreplay:", err)
+	os.Exit(1)
+}

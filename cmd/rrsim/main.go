@@ -1,0 +1,190 @@
+// Command rrsim records one workload under RelaxReplay and writes the
+// interval log.
+//
+// Usage:
+//
+//	rrsim -app fft [-cores 8] [-scale 3] [-variant opt|base]
+//	      [-interval 4k|inf] [-protocol snoopy|directory]
+//	      [-o fft.rrlog] [-verify]
+//
+// The available applications are the bundled SPLASH-2-analog kernels
+// (see rrsim -list) and the litmus tests (prefix "litmus:", e.g.
+// "litmus:sb").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relaxreplay"
+)
+
+func main() {
+	app := flag.String("app", "fft", "workload: kernel name or litmus:<name>")
+	files := flag.String("file", "", "run assembly file(s) instead of -app (comma-separated: one per core, or one file replicated)")
+	cores := flag.Int("cores", 8, "number of simulated cores (kernels only)")
+	scale := flag.Int("scale", 3, "problem-size multiplier (kernels only)")
+	variant := flag.String("variant", "opt", "recorder variant: opt or base")
+	interval := flag.String("interval", "4k", "max interval size: 4k or inf")
+	protocol := flag.String("protocol", "snoopy", "coherence protocol: snoopy or directory")
+	ordering := flag.String("ordering", "quickrec", "interval orderer: quickrec or lamport")
+	model := flag.String("model", "rc", "consistency model of the cores: rc, tso or sc")
+	out := flag.String("o", "", "write the serialized log to this file")
+	verify := flag.Bool("verify", false, "replay the log and verify determinism")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("kernels:")
+		for _, k := range relaxreplay.Kernels() {
+			fmt.Printf("  %-10s %s\n", k.Name, k.Description)
+		}
+		fmt.Println("litmus tests (use litmus:<name>):")
+		for _, l := range relaxreplay.LitmusTests() {
+			fmt.Printf("  %s\n", l.Name)
+		}
+		return
+	}
+
+	cfg := relaxreplay.DefaultConfig()
+	cfg.Cores = *cores
+	switch *variant {
+	case "opt":
+		cfg.Variant = relaxreplay.Opt
+	case "base":
+		cfg.Variant = relaxreplay.Base
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+	switch strings.ToLower(*interval) {
+	case "4k":
+		cfg.MaxIntervalInstrs = 4096
+	case "inf":
+		cfg.MaxIntervalInstrs = 0
+	default:
+		fatal(fmt.Errorf("unknown interval %q", *interval))
+	}
+	switch *protocol {
+	case "snoopy":
+		cfg.Protocol = relaxreplay.Snoopy
+	case "directory":
+		cfg.Protocol = relaxreplay.Directory
+	default:
+		fatal(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+	switch *ordering {
+	case "quickrec":
+		cfg.Ordering = relaxreplay.QuickRec
+	case "lamport":
+		cfg.Ordering = relaxreplay.Lamport
+	default:
+		fatal(fmt.Errorf("unknown ordering %q", *ordering))
+	}
+	switch *model {
+	case "rc":
+		cfg.Memory = relaxreplay.RC
+	case "tso":
+		cfg.Memory = relaxreplay.TSO
+	case "sc":
+		cfg.Memory = relaxreplay.SC
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	var w relaxreplay.Workload
+	var check func(map[uint64]uint64) error
+	if *files != "" {
+		var err error
+		w, err = loadAsmWorkload(*files, cfg.Cores)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cores = len(w.Progs)
+	} else if name, ok := strings.CutPrefix(*app, "litmus:"); ok {
+		l, err := relaxreplay.LitmusByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		w = l.Workload
+		cfg.Cores = len(w.Progs)
+	} else {
+		var err error
+		w, check, err = relaxreplay.BuildKernel(*app, cfg.Cores, *scale)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	rec, err := relaxreplay.Record(cfg, w)
+	if err != nil {
+		fatal(err)
+	}
+	if check != nil {
+		if err := check(rec.FinalMemory()); err != nil {
+			fatal(fmt.Errorf("workload oracle failed: %w", err))
+		}
+	}
+
+	instr := rec.Instructions()
+	bits := rec.LogSizeBits()
+	fmt.Printf("recorded %q: %d cores, %d instructions, %d cycles\n",
+		w.Name, cfg.Cores, instr, rec.Cycles())
+	fmt.Printf("log: %d bits uncompressed (%.1f bits/1K instructions), %d reordered accesses\n",
+		bits, float64(bits)*1000/float64(instr), rec.ReorderedAccesses())
+
+	if *verify {
+		rep, err := rec.Replay()
+		if err != nil {
+			fatal(fmt.Errorf("replay verification FAILED: %w", err))
+		}
+		fmt.Printf("replay verified: %d intervals, %.1fx recording time (user %d + OS %d cycles)\n",
+			rep.Intervals, float64(rep.Timing.Total())/float64(rec.Cycles()),
+			rep.Timing.UserCycles, rep.Timing.OSCycles)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteLog(f); err != nil {
+			fatal(err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("wrote %s (%d bytes on disk)\n", *out, st.Size())
+	}
+}
+
+// loadAsmWorkload assembles the given file(s): one program per core,
+// or a single file replicated across cores.
+func loadAsmWorkload(files string, cores int) (relaxreplay.Workload, error) {
+	var progs []relaxreplay.Program
+	names := strings.Split(files, ",")
+	for _, f := range names {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return relaxreplay.Workload{}, err
+		}
+		p, err := relaxreplay.ParseProgram(f, string(src))
+		if err != nil {
+			return relaxreplay.Workload{}, err
+		}
+		progs = append(progs, p)
+	}
+	if len(progs) == 1 {
+		one := progs[0]
+		progs = make([]relaxreplay.Program, cores)
+		for i := range progs {
+			progs[i] = one
+		}
+	}
+	return relaxreplay.Workload{Name: names[0], Progs: progs}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrsim:", err)
+	os.Exit(1)
+}

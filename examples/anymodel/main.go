@@ -1,0 +1,41 @@
+// Anymodel: the paper's title claim in one run. The same store-
+// buffering litmus test executes on RC, TSO and SC cores; the
+// architectural outcome shifts exactly as each model allows, and
+// RelaxReplay — without knowing which model it is recording — captures
+// and replays all of them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relaxreplay"
+)
+
+func main() {
+	sb, err := relaxreplay.LitmusByName("sb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mm := range []relaxreplay.MemoryModel{relaxreplay.RC, relaxreplay.TSO, relaxreplay.SC} {
+		cfg := relaxreplay.DefaultConfig()
+		cfg.Cores = len(sb.Progs)
+		cfg.Memory = mm
+
+		rec, err := relaxreplay.Record(cfg, sb.Workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := sb.Outcome(rec.FinalMemory())
+		verdict := "both loads saw the other store (SC-like outcome)"
+		if got[0] == 1 && got[1] == 1 {
+			verdict = "both loads bypassed the stores — forbidden under SC"
+		}
+		if _, err := rec.Replay(); err != nil {
+			log.Fatalf("%v: replay diverged: %v", mm, err)
+		}
+		fmt.Printf("%-4s outcome %v: %s; replay verified\n", mm, got, verdict)
+	}
+	fmt.Println("\nRelaxReplay recorded all three models with the same hardware —")
+	fmt.Println("it relies only on write atomicity, never on the model definition (§3.6)")
+}

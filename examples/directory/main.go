@@ -1,0 +1,47 @@
+// Directory: RelaxReplay on directory coherence (paper §4.3).
+//
+// Under the snoopy ring every core observes every coherence
+// transaction; under a directory a core only sees traffic for lines it
+// caches, so the Snoop Table sees far less pressure — but loses sight
+// of lines whose dirty copies get evicted, which §4.3 handles by
+// self-incrementing the Snoop Table on dirty evictions. This example
+// records the same workload under both protocols and compares.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relaxreplay"
+)
+
+func main() {
+	for _, proto := range []struct {
+		name string
+		p    relaxreplay.Protocol
+	}{{"snoopy ring", relaxreplay.Snoopy}, {"directory", relaxreplay.Directory}} {
+		cfg := relaxreplay.DefaultConfig()
+		cfg.Cores = 8
+		cfg.Protocol = proto.p
+
+		w, check, err := relaxreplay.BuildKernel("ocean", cfg.Cores, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := relaxreplay.Record(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := check(rec.FinalMemory()); err != nil {
+			log.Fatalf("%s: oracle: %v", proto.name, err)
+		}
+		if _, err := rec.Replay(); err != nil {
+			log.Fatalf("%s: replay diverged: %v", proto.name, err)
+		}
+		fmt.Printf("%-12s %8d cycles, log %7d bits, %5d reordered accesses — replay verified\n",
+			proto.name, rec.Cycles(), rec.LogSizeBits(), rec.ReorderedAccesses())
+	}
+	fmt.Println("\nboth protocols record and replay deterministically;")
+	fmt.Println("the directory's targeted invalidations reach fewer cores, and dirty")
+	fmt.Println("evictions conservatively bump the Snoop Table (paper §4.3)")
+}

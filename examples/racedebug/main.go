@@ -1,0 +1,74 @@
+// Racedebug: the concurrency-debugging use case that motivates RnR.
+//
+// Four threads increment a shared counter WITHOUT a lock (a classic
+// lost-update data race). The buggy outcome depends on microarchitec-
+// tural timing — exactly the kind of heisenbug that vanishes under a
+// debugger. We record one buggy execution and then replay it: the
+// replay reproduces the same lost updates, every time, so the bug can
+// be examined deterministically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relaxreplay"
+)
+
+const (
+	counterAddr = 0x100
+	iters       = 40
+)
+
+// racyProgram increments mem[counterAddr] iters times with a plain
+// load/add/store — no lock, no atomic. Increments from different
+// threads can interleave and be lost.
+func racyProgram() relaxreplay.Program {
+	b := relaxreplay.NewProgram("racy-counter")
+	b.Li(10, counterAddr)
+	b.Li(3, 0)
+	b.Li(4, iters)
+	b.Label("loop")
+	b.Ld(5, 10, 0)
+	b.Addi(5, 5, 1)
+	b.St(5, 10, 0) // racy read-modify-write
+	b.Addi(3, 3, 1)
+	b.Bne(3, 4, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func main() {
+	cfg := relaxreplay.DefaultConfig()
+	cfg.Cores = 4
+	progs := make([]relaxreplay.Program, cfg.Cores)
+	for i := range progs {
+		progs[i] = racyProgram()
+	}
+	w := relaxreplay.Workload{Name: "racy-counter", Progs: progs}
+
+	rec, err := relaxreplay.Record(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := rec.FinalMemory()[counterAddr]
+	expected := uint64(cfg.Cores * iters)
+	fmt.Printf("expected counter: %d\n", expected)
+	fmt.Printf("recorded counter: %d (%d updates lost to the race)\n",
+		final, expected-final)
+	if final == expected {
+		fmt.Println("(no updates lost in this timing — rerun with more cores/iters)")
+	}
+
+	// Replay the captured execution several times: the lost-update
+	// pattern is now perfectly deterministic.
+	for i := 1; i <= 3; i++ {
+		rep, err := rec.Replay()
+		if err != nil {
+			log.Fatalf("replay %d diverged: %v", i, err)
+		}
+		fmt.Printf("replay %d: counter = %d (identical, verified against the recording)\n",
+			i, rep.FinalMemory[counterAddr])
+	}
+	fmt.Println("the heisenbug is now reproducible under a debugger")
+}

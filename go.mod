@@ -1,0 +1,3 @@
+module relaxreplay
+
+go 1.22

@@ -1,0 +1,418 @@
+// Package coherence models the memory hierarchy of the simulated
+// multicore: per-core MESI L1 caches, a shared L2 agent that is the
+// transaction ordering point, and main memory, connected by the
+// slotted ring from package interconnect.
+//
+// Two protocols are provided, selected by Config.Protocol:
+//
+//   - Snoopy (default, the paper's evaluation configuration): every
+//     coherence transaction circulates the whole ring, so every core
+//     observes every transaction — the property RelaxReplay_Opt's
+//     Snoop Table relies on, and the reason its pressure grows with
+//     core count (paper §5.5).
+//   - Directory: the L2 home keeps exact owner/sharer state and sends
+//     targeted invalidations/fetches, so a core only observes traffic
+//     for lines it actually cached (paper §4.3).
+//
+// Both protocols provide write atomicity: a store performs only when
+// its transaction has completed, i.e. after every other copy of the
+// line has been invalidated. This is the property RelaxReplay's
+// Observation 1 requires of the substrate.
+//
+// Perform events (the binding of a value to an access) are exported at
+// the exact cycle they happen so the memory race recorder can stamp
+// PISNs and Snoop Counts without any window between value binding and
+// observation.
+package coherence
+
+import (
+	"container/heap"
+	"fmt"
+
+	"relaxreplay/internal/interconnect"
+)
+
+// Line geometry (paper Table 1: 32-byte lines, 8-byte words).
+const (
+	LineSize     = 32
+	WordsPerLine = LineSize / 8
+	lineShift    = 5
+)
+
+// LineData is the payload of one cache line.
+type LineData [WordsPerLine]uint64
+
+// LineOf returns the line address (line number) containing addr.
+func LineOf(addr uint64) uint64 { return addr >> lineShift }
+
+// wordOf returns the word index within the line for addr.
+func wordOf(addr uint64) int { return int(addr>>3) & (WordsPerLine - 1) }
+
+// Protocol selects the coherence protocol.
+type Protocol uint8
+
+const (
+	// Snoopy broadcasts every transaction around the ring (MESI).
+	Snoopy Protocol = iota
+	// Directory sends targeted invalidations from the L2 home (MESI).
+	Directory
+)
+
+func (p Protocol) String() string {
+	if p == Directory {
+		return "directory"
+	}
+	return "snoopy"
+}
+
+// Config holds the memory system parameters (defaults per paper Table 1).
+type Config struct {
+	Cores    int
+	Protocol Protocol
+
+	L1Sets   int // 64KB 4-way 32B lines -> 512 sets
+	L1Ways   int
+	L1HitLat uint64 // L1 round trip, cycles
+	L1MSHRs  int
+
+	L2Lat      uint64 // L2 lookup latency, cycles
+	L2Capacity int    // resident lines (latency model); 512KB per core
+	MemLat     uint64 // additional latency for a non-resident line
+}
+
+// DefaultConfig returns the paper's Table 1 memory system for the
+// given core count.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:      cores,
+		Protocol:   Snoopy,
+		L1Sets:     512,
+		L1Ways:     4,
+		L1HitLat:   2,
+		L1MSHRs:    64,
+		L2Lat:      12,
+		L2Capacity: cores * 512 * 1024 / LineSize,
+		MemLat:     150,
+	}
+}
+
+// Kind classifies a memory operation submitted by a core.
+type Kind uint8
+
+const (
+	// Load reads one word.
+	Load Kind = iota
+	// Store writes one word.
+	Store
+	// RMW atomically reads a word, applies Request.Apply, and
+	// (conditionally) writes the result.
+	RMW
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return "rmw"
+	}
+}
+
+// Request is a memory operation submitted by a core's load/store unit.
+type Request struct {
+	Core int
+	ID   uint64 // core-local operation id, echoed in events
+	Addr uint64
+	Kind Kind
+
+	StoreVal uint64
+	// Apply implements the RMW: given the old word it returns the new
+	// word and whether the write takes effect (false for a failed CAS).
+	Apply func(old uint64) (newVal uint64, write bool)
+}
+
+// PerformEvent reports that an access bound its value: the paper's
+// "perform" event. It is visible to the recorder on the very cycle it
+// happens.
+type PerformEvent struct {
+	Core    int
+	ID      uint64
+	Line    uint64
+	Addr    uint64
+	IsWrite bool   // store or (any) RMW
+	IsRead  bool   // load or RMW
+	Value   uint64 // value read (loads, RMW old value) or written (stores)
+	// StoredVal/DidWrite describe the write half (stores and RMWs);
+	// the recorder needs them to log reordered stores and atomics.
+	StoredVal uint64
+	DidWrite  bool
+	Cycle     uint64
+}
+
+// Completion reports the result of an operation back to the pipeline,
+// L1-hit latency (or the miss path) after the perform event.
+type Completion struct {
+	Core  int
+	ID    uint64
+	Value uint64 // load value; RMW old value; unspecified for stores
+	Cycle uint64
+}
+
+// Stats aggregates memory-system counters.
+type Stats struct {
+	L1Hits, L1Misses   uint64
+	Upgrades           uint64
+	DirtyEvictions     uint64
+	Transactions       uint64
+	SnoopsObserved     uint64 // remote snoops delivered to cores
+	CacheToCache       uint64
+	L2Misses           uint64 // non-resident accesses (memory latency paid)
+	RingMessages       uint64
+	MSHRRejects        uint64
+	InvalidationsSent  uint64 // directory mode
+	StaleWritebacks    uint64 // PutM dropped at L2
+	WBBufferSupplies   uint64 // data supplied from a writeback buffer
+	SupersededWBEvents uint64
+}
+
+// System is the full memory hierarchy for one simulated machine.
+type System struct {
+	cfg   Config
+	ring  *interconnect.Ring
+	l1s   []*l1cache
+	l2    *l2agent
+	cycle uint64
+
+	events   eventQueue
+	eventSeq uint64
+
+	performs    []PerformEvent
+	completions []Completion
+
+	// OnPerform, when set, receives every perform event synchronously,
+	// at the exact point within the cycle where the value binds. This
+	// preserves the true intra-cycle order between performs and
+	// observed snoops, which the recorder's PISN stamping relies on.
+	// When unset, events are queued for DrainPerforms instead.
+	OnPerform func(ev PerformEvent)
+	// OnRemoteSnoop is invoked when core observes a coherence
+	// transaction it did not originate (a passing ring snoop in snoopy
+	// mode; a received Inv/Fetch in directory mode). The recorder uses
+	// it for signature conflict checks and Snoop Table updates;
+	// requester identifies the transaction's originating core, which
+	// dependence-edge recording (parallel replay) needs.
+	OnRemoteSnoop func(core int, line uint64, isWrite bool, requester int, cycle uint64)
+	// OnDirtyEvict is invoked when a core writes back a dirty line. In
+	// directory mode RelaxReplay_Opt must self-increment its Snoop
+	// Table on this event (paper §4.3).
+	OnDirtyEvict func(core int, line uint64, cycle uint64)
+
+	// ClockOf and OnHint implement logical-clock piggybacking for
+	// orderers that use Lamport-style scalar clocks instead of a
+	// global physical clock (Intel MRR / Cyrus style, paper §2).
+	// When set, every coherence message accumulates the clocks of the
+	// cores that held the line it touches (ClockOf), and the
+	// accumulated hint is delivered to the requester with the data
+	// grant (OnHint). Leave nil for physical-timestamp ordering.
+	ClockOf func(core int) uint64
+	// OnHint delivers the accumulated clock hint with a data grant.
+	OnHint func(core int, hint uint64)
+
+	Stats Stats
+}
+
+// New builds a memory system. Core IDs are 0..cfg.Cores-1; the L2
+// agent is ring node cfg.Cores.
+func New(cfg Config) *System {
+	if cfg.Cores < 1 {
+		panic("coherence: need at least one core")
+	}
+	s := &System{
+		cfg:  cfg,
+		ring: interconnect.New(cfg.Cores + 1),
+	}
+	s.l1s = make([]*l1cache, cfg.Cores)
+	for i := range s.l1s {
+		s.l1s[i] = newL1(s, i)
+	}
+	s.l2 = newL2(s)
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Cycle returns the current cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// InitWord initializes memory before simulation starts.
+func (s *System) InitWord(addr, val uint64) {
+	e := s.l2.entry(LineOf(addr))
+	e.data[wordOf(addr)] = val
+}
+
+// PeekWord returns the current coherent value of a word, looking at
+// the owning cache first. It is a debugging/verification aid and does
+// not perturb the simulation.
+func (s *System) PeekWord(addr uint64) uint64 {
+	line := LineOf(addr)
+	for _, l1 := range s.l1s {
+		if cl := l1.lookup(line); cl != nil && cl.state == stateM {
+			return cl.data[wordOf(addr)]
+		}
+		if wb := l1.wbEntry(line); wb != nil && !wb.superseded {
+			return wb.data[wordOf(addr)]
+		}
+	}
+	e := s.l2.entry(line)
+	return e.data[wordOf(addr)]
+}
+
+// FinalMemory returns the coherent memory image (all non-zero words)
+// after the simulation has quiesced.
+func (s *System) FinalMemory() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	emit := func(line uint64, data *LineData) {
+		for w := 0; w < WordsPerLine; w++ {
+			if data[w] != 0 {
+				out[line<<lineShift+uint64(w*8)] = data[w]
+			}
+		}
+	}
+	for line, e := range s.l2.dir {
+		owned := false
+		for _, l1 := range s.l1s {
+			if cl := l1.lookup(line); cl != nil && cl.state == stateM {
+				emit(line, &cl.data)
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			emit(line, &e.data)
+		}
+	}
+	return out
+}
+
+// Submit hands a memory operation to the core's L1. It returns false
+// when the L1 cannot accept the request this cycle (MSHRs full); the
+// caller must retry. Alignment to 8 bytes is required.
+func (s *System) Submit(r Request) bool {
+	if r.Addr%8 != 0 {
+		panic(fmt.Sprintf("coherence: unaligned access %#x", r.Addr))
+	}
+	if r.Kind == RMW && r.Apply == nil {
+		panic("coherence: RMW without Apply")
+	}
+	return s.l1s[r.Core].submit(r)
+}
+
+// Busy reports whether any transaction or queued work remains.
+func (s *System) Busy() bool {
+	if s.ring.Busy() || len(s.events) > 0 || s.l2.busyLines > 0 {
+		return true
+	}
+	for _, l1 := range s.l1s {
+		if l1.busy() {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances the memory system one cycle. The caller then drains
+// DrainPerforms (same-cycle perform events, for the recorder) and
+// DrainCompletions (pipeline notifications).
+func (s *System) Tick() {
+	s.cycle++
+	for _, d := range s.ring.Tick() {
+		s.dispatch(d)
+	}
+	for len(s.events) > 0 && s.events[0].cycle <= s.cycle {
+		ev := heap.Pop(&s.events).(*event)
+		ev.fn()
+	}
+	s.Stats.RingMessages = s.ring.Injected
+}
+
+// DrainPerforms returns and clears the perform events generated this cycle.
+func (s *System) DrainPerforms() []PerformEvent {
+	out := s.performs
+	s.performs = nil
+	return out
+}
+
+// DrainCompletions returns and clears the completions due by this cycle.
+func (s *System) DrainCompletions() []Completion {
+	out := s.completions
+	s.completions = nil
+	return out
+}
+
+func (s *System) dispatch(d interconnect.Delivery) {
+	if d.Node == s.cfg.Cores {
+		if d.Final {
+			s.l2.receive(d.Msg)
+		}
+		return
+	}
+	s.l1s[d.Node].receive(d.Msg, d.Final)
+}
+
+func (s *System) at(delay uint64, fn func()) {
+	s.eventSeq++
+	heap.Push(&s.events, &event{cycle: s.cycle + delay, seq: s.eventSeq, fn: fn})
+}
+
+func (s *System) perform(ev PerformEvent) {
+	ev.Cycle = s.cycle
+	if s.OnPerform != nil {
+		s.OnPerform(ev)
+		return
+	}
+	s.performs = append(s.performs, ev)
+}
+
+func (s *System) complete(core int, id uint64, value uint64, delay uint64) {
+	s.at(delay, func() {
+		s.completions = append(s.completions, Completion{Core: core, ID: id, Value: value, Cycle: s.cycle})
+	})
+}
+
+func (s *System) observeSnoop(core int, line uint64, isWrite bool, requester int) {
+	s.Stats.SnoopsObserved++
+	if s.OnRemoteSnoop != nil {
+		s.OnRemoteSnoop(core, line, isWrite, requester, s.cycle)
+	}
+}
+
+// event queue -----------------------------------------------------------
+
+type event struct {
+	cycle uint64
+	seq   uint64
+	fn    func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].cycle != q[j].cycle {
+		return q[i].cycle < q[j].cycle
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

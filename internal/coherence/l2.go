@@ -1,0 +1,262 @@
+package coherence
+
+import (
+	"container/list"
+	"fmt"
+
+	"relaxreplay/internal/interconnect"
+)
+
+// dirEntry is the L2 agent's per-line state. The L2 is the single
+// ordering point for the line: at most one transaction is in flight
+// per line, and later requests queue FIFO.
+//
+// The entry doubles as the backing store for the line's data (the L2
+// plus memory behind it); residency in the configured L2 capacity is
+// tracked separately and affects latency only.
+type dirEntry struct {
+	line    uint64
+	data    LineData
+	owner   int    // core holding M or E, -1 when none
+	sharers uint64 // bitmask of cores that may hold S copies
+
+	busy  bool
+	queue []*reqMsg
+
+	// clockHint remembers the last publisher's logical clock for this
+	// line (piggyback ordering); carried on every grant.
+	clockHint uint64
+
+	// In-flight transaction state.
+	req         *reqMsg
+	dataReadyAt uint64
+	pendingAcks int
+	sharerSeen  bool
+}
+
+type l2agent struct {
+	sys *System
+	dir map[uint64]*dirEntry
+
+	// Residency LRU for the latency model; a request to a non-resident
+	// line pays the memory latency.
+	lru      *list.List // line addrs, front = MRU
+	resident map[uint64]*list.Element
+
+	busyLines int
+}
+
+func newL2(sys *System) *l2agent {
+	return &l2agent{
+		sys:      sys,
+		dir:      make(map[uint64]*dirEntry),
+		lru:      list.New(),
+		resident: make(map[uint64]*list.Element),
+	}
+}
+
+func (a *l2agent) node() int { return a.sys.cfg.Cores }
+
+func (a *l2agent) entry(line uint64) *dirEntry {
+	e := a.dir[line]
+	if e == nil {
+		e = &dirEntry{line: line, owner: -1}
+		a.dir[line] = e
+	}
+	return e
+}
+
+// touchResident returns the extra latency for this access (memory
+// latency when the line is not L2-resident) and updates the LRU.
+func (a *l2agent) touchResident(line uint64) uint64 {
+	if el, ok := a.resident[line]; ok {
+		a.lru.MoveToFront(el)
+		return 0
+	}
+	a.sys.Stats.L2Misses++
+	a.resident[line] = a.lru.PushFront(line)
+	for a.lru.Len() > a.sys.cfg.L2Capacity {
+		back := a.lru.Back()
+		a.lru.Remove(back)
+		delete(a.resident, back.Value.(uint64))
+	}
+	return a.sys.cfg.MemLat
+}
+
+func (a *l2agent) receive(msg interconnect.Message) {
+	switch p := msg.Payload.(type) {
+	case *reqMsg:
+		e := a.entry(p.line)
+		if e.busy {
+			e.queue = append(e.queue, p)
+			return
+		}
+		a.begin(e, p)
+	case *snoopMsg:
+		a.snoopReturned(p)
+	case *ackMsg:
+		a.ackReceived(p)
+	}
+}
+
+// begin starts processing an ordered request for a free line.
+func (a *l2agent) begin(e *dirEntry, p *reqMsg) {
+	e.busy = true
+	e.req = p
+	a.busyLines++
+
+	if p.kind == reqPutM {
+		// Writebacks need no snoop: accept if the sender is still the
+		// owner, else drop the stale data.
+		if e.owner == p.core {
+			e.data = p.data
+			e.owner = -1
+		} else {
+			a.sys.Stats.StaleWritebacks++
+		}
+		if a.sys.ClockOf != nil {
+			// The evicted dirty line carries the writer's clock: later
+			// readers served from the L2 must order after it.
+			if h := a.sys.ClockOf(p.core); h > e.clockHint {
+				e.clockHint = h
+			}
+		}
+		a.touchResident(p.line)
+		a.sys.at(a.sys.cfg.L2Lat, func() {
+			a.send(p.core, &putAckMsg{line: p.line})
+			a.finish(e)
+		})
+		return
+	}
+
+	e.dataReadyAt = a.sys.cycle + a.sys.cfg.L2Lat + a.touchResident(p.line)
+	e.sharerSeen = false
+
+	if a.sys.cfg.Protocol == Snoopy {
+		a.sys.ring.Send(interconnect.Message{
+			Src:     a.node(),
+			Dst:     a.node(),
+			Visit:   true,
+			Payload: &snoopMsg{kind: p.kind, line: p.line, requester: p.core},
+		})
+		return
+	}
+	a.beginDirectory(e, p)
+}
+
+// beginDirectory sends targeted invalidations/fetches per the exact
+// sharer/owner state and waits for the acks.
+func (a *l2agent) beginDirectory(e *dirEntry, p *reqMsg) {
+	targets := e.sharers
+	if e.owner >= 0 {
+		targets |= 1 << uint(e.owner)
+	}
+	targets &^= 1 << uint(p.core)
+	if p.kind == reqGetS {
+		// Reads only disturb the owner (downgrade); S copies stay.
+		if e.owner >= 0 && e.owner != p.core {
+			targets = 1 << uint(e.owner)
+		} else {
+			targets = 0
+		}
+	}
+	e.pendingAcks = 0
+	for c := 0; c < a.sys.cfg.Cores; c++ {
+		if targets&(1<<uint(c)) == 0 {
+			continue
+		}
+		e.pendingAcks++
+		a.sys.Stats.InvalidationsSent++
+		a.send(c, &invMsg{line: p.line, requester: p.core, isWrite: p.kind == reqGetM})
+	}
+	e.sharerSeen = e.sharers&^(1<<uint(p.core)) != 0
+	if e.pendingAcks == 0 {
+		a.scheduleGrant(e)
+	}
+}
+
+func (a *l2agent) ackReceived(p *ackMsg) {
+	e := a.entry(p.line)
+	if !e.busy || e.pendingAcks == 0 {
+		panic(fmt.Sprintf("coherence: unexpected ack for line %#x", p.line))
+	}
+	if p.hasData {
+		e.data = p.data
+		a.sys.Stats.CacheToCache++
+		e.dataReadyAt = a.sys.cycle
+	}
+	if p.clockHint > e.clockHint {
+		e.clockHint = p.clockHint
+	}
+	e.pendingAcks--
+	if e.pendingAcks == 0 {
+		a.scheduleGrant(e)
+	}
+}
+
+// snoopReturned completes the broadcast phase of a snoopy transaction.
+func (a *l2agent) snoopReturned(p *snoopMsg) {
+	e := a.entry(p.line)
+	if !e.busy || e.req == nil || e.req.line != p.line {
+		panic(fmt.Sprintf("coherence: stray snoop return for line %#x", p.line))
+	}
+	if p.hasOwner {
+		e.data = p.ownerData
+		e.dataReadyAt = a.sys.cycle
+	}
+	if p.clockHint > e.clockHint {
+		e.clockHint = p.clockHint
+	}
+	e.sharerSeen = p.sharerSeen
+	a.scheduleGrant(e)
+}
+
+// scheduleGrant sends the data grant once the data is ready and
+// retires the transaction.
+func (a *l2agent) scheduleGrant(e *dirEntry) {
+	grant := func() {
+		p := e.req
+		st := stateS
+		switch {
+		case p.kind == reqGetM:
+			st = stateM
+			e.owner = p.core
+			e.sharers = 0
+		case !e.sharerSeen && e.owner < 0:
+			st = stateE
+			e.owner = p.core
+			e.sharers = 0
+		default:
+			if e.owner >= 0 && e.owner != p.core {
+				e.sharers |= 1 << uint(e.owner)
+			}
+			e.owner = -1
+			e.sharers |= 1 << uint(p.core)
+		}
+		a.sys.Stats.Transactions++
+		a.send(p.core, &dataMsg{line: p.line, data: e.data, state: st, clockHint: e.clockHint})
+		a.finish(e)
+	}
+	if e.dataReadyAt <= a.sys.cycle {
+		grant()
+		return
+	}
+	a.sys.at(e.dataReadyAt-a.sys.cycle, grant)
+}
+
+// finish frees the line and starts the next queued request, if any.
+func (a *l2agent) finish(e *dirEntry) {
+	e.busy = false
+	e.req = nil
+	a.busyLines--
+	if len(e.queue) > 0 {
+		next := e.queue[0]
+		copy(e.queue, e.queue[1:])
+		e.queue = e.queue[:len(e.queue)-1]
+		a.begin(e, next)
+	}
+}
+
+func (a *l2agent) send(core int, payload any) {
+	a.sys.ring.Send(interconnect.Message{Src: a.node(), Dst: core, Payload: payload})
+}

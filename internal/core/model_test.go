@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"relaxreplay/internal/isa"
+	"relaxreplay/internal/replaylog"
+)
+
+// Model-based property test: drive a Recorder with randomized but
+// legal hook-event sequences (dispatch in order; perform after
+// dispatch; retire in order after perform for loads; squashes from a
+// random point; remote snoops at random) and check global invariants:
+//
+//  1. No panics, ever.
+//  2. Every retired instruction is accounted in the log exactly once.
+//  3. Reordered entries' offsets stay within the interval count.
+//  4. The finalized log validates and patches.
+type modelDriver struct {
+	rng *rand.Rand
+	r   *Recorder
+
+	nextSeq  uint64
+	inFlight []modelOp // dispatched, not yet retired/squashed
+	retired  uint64
+	cycle    uint64
+}
+
+type modelOp struct {
+	seq       uint64
+	ins       isa.Instr
+	performed bool
+}
+
+func (d *modelDriver) step() {
+	d.cycle++
+	switch d.rng.Intn(10) {
+	case 0, 1, 2: // dispatch a few instructions
+		for i := 0; i < d.rng.Intn(4)+1; i++ {
+			d.dispatch()
+		}
+	case 3, 4: // perform the oldest unperformed memory ops
+		for i := range d.inFlight {
+			op := &d.inFlight[i]
+			if op.ins.IsMem() && !op.performed {
+				addr := uint64(d.rng.Intn(16)) * 8
+				d.r.Perform(op.seq, addr, op.ins.IsLoad(), op.ins.IsStore(),
+					d.rng.Uint64()%100, d.rng.Uint64()%100, op.ins.IsStore())
+				op.performed = true
+				if d.rng.Intn(2) == 0 {
+					break
+				}
+			}
+		}
+	case 5, 6: // retire the head run if eligible
+		for len(d.inFlight) > 0 {
+			op := d.inFlight[0]
+			if op.ins.IsMem() && !op.performed {
+				break
+			}
+			d.r.RetireInstr(op.seq, op.ins.IsMem())
+			d.inFlight = d.inFlight[1:]
+			d.retired++
+			if d.rng.Intn(3) == 0 {
+				break
+			}
+		}
+	case 7: // remote snoop
+		d.r.ObserveRemote(uint64(d.rng.Intn(16)), d.rng.Intn(2) == 0, d.cycle)
+	case 8: // squash a suffix of the in-flight window
+		if len(d.inFlight) > 0 {
+			cut := d.rng.Intn(len(d.inFlight))
+			d.r.Squash(d.inFlight[cut].seq)
+			d.inFlight = d.inFlight[:cut]
+		}
+	case 9: // counting ticks
+		for i := 0; i < d.rng.Intn(4)+1; i++ {
+			d.r.Tick(d.cycle)
+		}
+	}
+}
+
+func (d *modelDriver) dispatch() {
+	var ins isa.Instr
+	switch d.rng.Intn(5) {
+	case 0:
+		ins = isa.Instr{Op: isa.LD, Rd: 3, Rs1: 1}
+	case 1:
+		ins = isa.Instr{Op: isa.ST, Rs1: 1, Rs2: 2}
+	case 2:
+		ins = isa.Instr{Op: isa.AMOADD, Rd: 3, Rs1: 1, Rs2: 2}
+	default:
+		ins = isa.Instr{Op: isa.ADD, Rd: 3, Rs1: 1, Rs2: 2}
+	}
+	if !d.r.DispatchInstr(d.nextSeq, ins) {
+		return // TRAQ full: retry later
+	}
+	d.inFlight = append(d.inFlight, modelOp{seq: d.nextSeq, ins: ins})
+	d.nextSeq++
+}
+
+func (d *modelDriver) finish(t *testing.T) replaylog.CoreLog {
+	t.Helper()
+	// Drain: perform and retire everything left, then count it all.
+	for i := range d.inFlight {
+		op := &d.inFlight[i]
+		if op.ins.IsMem() && !op.performed {
+			d.r.Perform(op.seq, 8, op.ins.IsLoad(), op.ins.IsStore(), 1, 2, op.ins.IsStore())
+		}
+		d.r.RetireInstr(op.seq, op.ins.IsMem())
+		d.retired++
+	}
+	d.inFlight = nil
+	for i := 0; i < 10000 && d.r.Busy(); i++ {
+		d.cycle++
+		d.r.Tick(d.cycle)
+	}
+	if d.r.Busy() {
+		t.Fatal("TRAQ never drained")
+	}
+	cl, err := d.r.Finalize(d.cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestRecorderModelProperties(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for _, variant := range []Variant{Base, Opt} {
+			cfg := DefaultConfig(variant)
+			cfg.TRAQSize = 16
+			cfg.MaxIntervalInstrs = uint64([]int{0, 8, 64}[seed%3])
+			d := &modelDriver{rng: rand.New(rand.NewSource(seed)), r: NewRecorder(0, cfg, nil)}
+			for i := 0; i < 600; i++ {
+				d.step()
+			}
+			cl := d.finish(t)
+
+			// Invariant 2: exact instruction accounting.
+			var logged uint64
+			for i := range cl.Intervals {
+				logged += cl.Intervals[i].Instructions()
+			}
+			if logged != d.retired {
+				t.Fatalf("seed %d %v: log accounts %d instructions, retired %d",
+					seed, variant, logged, d.retired)
+			}
+
+			// Invariants 3 & 4: structurally valid, patchable log.
+			log := &replaylog.Log{Cores: 1, Streams: []replaylog.CoreLog{cl},
+				Inputs: make([][]uint64, 1), Variant: variant.String()}
+			if err := log.Validate(); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, variant, err)
+			}
+			if _, err := log.Patch(); err != nil {
+				t.Fatalf("seed %d %v: patch: %v", seed, variant, err)
+			}
+		}
+	}
+}
+
+// Fuzz-ish: randomly corrupted serialized logs must error, not panic.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	cfg := DefaultConfig(Base)
+	d := &modelDriver{rng: rand.New(rand.NewSource(7)), r: NewRecorder(0, cfg, nil)}
+	for i := 0; i < 300; i++ {
+		d.step()
+	}
+	cl := d.finish(t)
+	log := &replaylog.Log{Cores: 1, Streams: []replaylog.CoreLog{cl}, Inputs: make([][]uint64, 1)}
+
+	var buf bytes.Buffer
+	if err := replaylog.Encode(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), data...)
+		for k := 0; k < rng.Intn(4)+1; k++ {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			case 1: // truncate
+				mut = mut[:rng.Intn(len(mut))]
+			case 2: // append junk
+				mut = append(mut, byte(rng.Intn(256)))
+			}
+			if len(mut) == 0 {
+				break
+			}
+		}
+		// Must not panic; errors (or a still-valid decode for benign
+		// mutations) are both acceptable.
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("decode panicked on corrupted input: %v", p)
+				}
+			}()
+			l, err := replaylog.Decode(bytes.NewReader(mut))
+			if err == nil {
+				_ = l.Validate()
+			}
+		}()
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import "relaxreplay/internal/bloom"
+
+// Orderer is the interval-creation-and-ordering half of the Memory
+// Race Recorder (the left side of paper Figure 6(a)). RelaxReplay's
+// event-tracking hardware is deliberately independent of it: any
+// chunk-based MRR proposal's ordering mechanism can sit behind this
+// interface (paper §3.6, Figure 7).
+//
+// An Orderer decides when an incoming coherence transaction conflicts
+// with the current interval (terminating it) and supplies the ordering
+// information logged in each IntervalFrame.
+type Orderer interface {
+	// NotePerform records a performed access of the current interval
+	// (the QuickRec design inserts its line address into the read or
+	// write signature).
+	NotePerform(line uint64, isRead, isWrite bool)
+	// ConflictsRemote reports whether an observed remote transaction
+	// conflicts with the current interval, in which case the recorder
+	// terminates the interval.
+	ConflictsRemote(line uint64, isWrite bool) bool
+	// Timestamp returns the interval-ordering key logged in the
+	// IntervalFrame when the interval terminates at the given cycle.
+	Timestamp(cycle uint64) uint64
+	// Reset clears per-interval state when a new interval starts.
+	Reset()
+}
+
+// QuickRecOrderer implements the QuickRec scheme the paper evaluates
+// with: per-interval read/write Bloom signatures checked against
+// snooped transactions, and a globally-consistent scalar timestamp (the
+// global cycle count) that totally orders intervals across cores.
+type QuickRecOrderer struct {
+	read, write *bloom.Signature
+}
+
+// NewQuickRecOrderer builds the orderer with the given signature
+// geometry (the paper uses 4x256-bit signatures, bloom.NewDefault).
+func NewQuickRecOrderer(arrays, bits int, seed uint64) *QuickRecOrderer {
+	return &QuickRecOrderer{
+		read:  bloom.NewSignature(arrays, bits, seed),
+		write: bloom.NewSignature(arrays, bits, seed+1),
+	}
+}
+
+// NotePerform inserts the line into the read and/or write signature.
+func (q *QuickRecOrderer) NotePerform(line uint64, isRead, isWrite bool) {
+	if isRead {
+		q.read.Insert(line)
+	}
+	if isWrite {
+		q.write.Insert(line)
+	}
+}
+
+// ConflictsRemote checks a remote transaction against the signatures:
+// a remote write conflicts with local reads and writes; a remote read
+// conflicts with local writes.
+func (q *QuickRecOrderer) ConflictsRemote(line uint64, isWrite bool) bool {
+	if q.write.MayContain(line) {
+		return true
+	}
+	return isWrite && q.read.MayContain(line)
+}
+
+// Timestamp returns the global cycle count: QuickRec's
+// globally-consistent scalar clock.
+func (q *QuickRecOrderer) Timestamp(cycle uint64) uint64 { return cycle }
+
+// Reset clears both signatures.
+func (q *QuickRecOrderer) Reset() {
+	q.read.Clear()
+	q.write.Clear()
+}
+
+// LamportOrderer orders intervals with piggybacked scalar logical
+// clocks instead of a globally-consistent physical clock — the
+// ordering style of Intel MRR / Cyrus, where ordering information
+// rides on coherence messages. It demonstrates the paper's §3.6
+// claim: RelaxReplay's event tracking composes with any chunk-ordering
+// mechanism.
+//
+// Conflict detection reuses the QuickRec signatures; the timestamp of
+// a terminating interval is the next value of a per-core Lamport
+// clock, and the coherence substrate folds holders' clocks into every
+// data grant (see coherence.System.ClockOf/OnHint), so any interval
+// that depends on another — even transitively through an eviction or
+// the shared L2 — gets a strictly larger timestamp.
+type LamportOrderer struct {
+	sigs  *QuickRecOrderer
+	clock uint64
+}
+
+// NewLamportOrderer builds the orderer with the given signature geometry.
+func NewLamportOrderer(arrays, bits int, seed uint64) *LamportOrderer {
+	return &LamportOrderer{sigs: NewQuickRecOrderer(arrays, bits, seed)}
+}
+
+// NotePerform inserts into the signatures.
+func (l *LamportOrderer) NotePerform(line uint64, isRead, isWrite bool) {
+	l.sigs.NotePerform(line, isRead, isWrite)
+}
+
+// ConflictsRemote checks the signatures.
+func (l *LamportOrderer) ConflictsRemote(line uint64, isWrite bool) bool {
+	return l.sigs.ConflictsRemote(line, isWrite)
+}
+
+// Timestamp advances and returns the logical clock; the physical cycle
+// is ignored.
+func (l *LamportOrderer) Timestamp(uint64) uint64 {
+	l.clock++
+	return l.clock
+}
+
+// Reset clears the signatures (the clock persists across intervals).
+func (l *LamportOrderer) Reset() { l.sigs.Reset() }
+
+// Clock returns the current logical clock (folded into coherence
+// messages by the recording session).
+func (l *LamportOrderer) Clock() uint64 { return l.clock }
+
+// Sync raises the clock to at least hint (called when a data grant
+// carrying a piggybacked hint arrives).
+func (l *LamportOrderer) Sync(hint uint64) {
+	if hint > l.clock {
+		l.clock = hint
+	}
+}

@@ -1,0 +1,643 @@
+// Package core implements RelaxReplay's memory race recorder — the
+// paper's primary contribution. One Recorder attaches to each core and
+// observes it through the cpu.Hooks interface plus the memory system's
+// perform/snoop events. Its centerpiece is the post-completion
+// in-order counting step: every memory instruction flows through the
+// Tracking Queue (TRAQ) in program order; at the TRAQ head its
+// Performance Interval Sequence Number (PISN, stamped when the access
+// performed) is compared with the Current Interval Sequence Number
+// (CISN). Matching numbers — or, in RelaxReplay_Opt, an unchanged
+// Snoop Table count — let the perform event be logically moved to the
+// counting point and folded into an InorderBlock; otherwise the access
+// is logged as reordered with enough state to replay it (paper §3.3).
+package core
+
+import (
+	"fmt"
+
+	"relaxreplay/internal/bloom"
+	"relaxreplay/internal/isa"
+	"relaxreplay/internal/replaylog"
+)
+
+// Variant selects between the paper's two designs.
+type Variant uint8
+
+const (
+	// Base has no Snoop Table: any access whose perform and counting
+	// events fall in different intervals is logged as reordered.
+	Base Variant = iota
+	// Opt adds the Snoop Table, declaring such an access in order when
+	// no conflicting transaction was observed in between.
+	Opt
+)
+
+func (v Variant) String() string {
+	if v == Opt {
+		return "opt"
+	}
+	return "base"
+}
+
+// Config holds the recorder parameters (defaults per paper Table 1).
+type Config struct {
+	Variant Variant
+
+	TRAQSize          int
+	MaxIntervalInstrs uint64 // 0 = unbounded (the paper's INF)
+	CountPerCycle     int    // TRAQ drain bandwidth
+	NMICap            int    // NMI field capacity (4 bits -> 15)
+
+	SnoopArrays  int // Snoop Table geometry (Opt only)
+	SnoopEntries int
+
+	// LogBufferBytes models the per-core log buffer (paper Table 1:
+	// 8 cache lines); Stats.LogBufferFlushes counts write-backs of a
+	// full buffer to memory.
+	LogBufferBytes int
+
+	SigArrays int // interval signature geometry
+	SigBits   int
+	SigSeed   uint64
+
+	// Ordering selects the interval-ordering mechanism paired with
+	// RelaxReplay's event tracking (paper §3.6, Figure 7).
+	Ordering OrderingScheme
+
+	// UnsafeDisablePinning turns off the same-address pinning
+	// soundness fix (DESIGN.md §6) so tests can demonstrate the replay
+	// divergence it prevents. Never set in real use.
+	UnsafeDisablePinning bool
+
+	// AssumeSC makes the recorder behave like a conventional SC
+	// chunk-based recorder (paper §2.2): every access is counted as in
+	// order, with no reorder detection at all. Such a log CANNOT
+	// faithfully capture relaxed-consistency executions; it exists so
+	// the motivation experiment can demonstrate the resulting replay
+	// divergence.
+	AssumeSC bool
+}
+
+// DefaultConfig returns the paper's Table 1 recorder configuration for
+// the given variant with 4K-instruction maximum intervals.
+func DefaultConfig(v Variant) Config {
+	return Config{
+		Variant:           v,
+		TRAQSize:          176,
+		MaxIntervalInstrs: 4096,
+		CountPerCycle:     2,
+		NMICap:            15,
+		SnoopArrays:       2,
+		SnoopEntries:      64,
+		LogBufferBytes:    8 * 32,
+		SigArrays:         bloom.DefaultArrays,
+		SigBits:           bloom.DefaultBits,
+		SigSeed:           0x5eed,
+	}
+}
+
+// pendingPred is a dependence edge awaiting attachment to its interval.
+type pendingPred struct {
+	seq  uint64
+	pred replaylog.Pred
+}
+
+// OrderingScheme names an interval orderer implementation.
+type OrderingScheme uint8
+
+const (
+	// OrderingQuickRec orders intervals by a globally-consistent
+	// physical timestamp (the paper's evaluated configuration).
+	OrderingQuickRec OrderingScheme = iota
+	// OrderingLamport orders intervals by piggybacked scalar logical
+	// clocks (Intel MRR / Cyrus style).
+	OrderingLamport
+)
+
+func (o OrderingScheme) String() string {
+	if o == OrderingLamport {
+		return "lamport"
+	}
+	return "quickrec"
+}
+
+type entryKind uint8
+
+const (
+	kindLoad entryKind = iota
+	kindStore
+	kindAtomic
+	kindFiller
+)
+
+// traqEntry is one TRAQ slot (paper Figure 6(b)).
+type traqEntry struct {
+	seq  uint64
+	kind entryKind
+	nmi  int // non-memory instructions preceding this one
+	// nmiSeqs are the sequence numbers of those instructions, kept so
+	// that a squash of this entry can restore the survivors to the
+	// pending list.
+	nmiSeqs []uint64
+
+	line uint64
+	addr uint64
+
+	loadVal  uint64
+	storeVal uint64
+	didWrite bool
+
+	pisn      uint64
+	performed bool
+	snoopCnt  SnoopCount
+	// pinned/pinISN forbid the RelaxReplay_Opt move for this entry
+	// beyond interval pinISN: a younger same-address store performed
+	// in interval pinISN while this access was still waiting to be
+	// counted. If this entry were moved into an interval after
+	// pinISN while that store is logged reordered (patched to the end
+	// of pinISN), the store would overtake this access at replay.
+	// See the "same-address pinning" note in DESIGN.md; this is a
+	// soundness condition the paper does not discuss, found by
+	// systematic replay verification.
+	pinned bool
+	pinISN uint64
+}
+
+// Stats aggregates recorder counters for the evaluation.
+type Stats struct {
+	Dispatched uint64 // instructions seen (including squashed)
+	Counted    uint64 // instructions counted (retired path)
+	MemCounted uint64 // memory instructions counted
+
+	ReorderedLoads   uint64
+	ReorderedStores  uint64
+	ReorderedAtomics uint64
+	OptMoves         uint64 // cross-interval moves proven safe by the Snoop Table
+	BaseSameInterval uint64 // PISN == CISN at counting
+	PinnedReorders   uint64 // moves forbidden by same-address pinning
+
+	Intervals            uint64
+	LogBufferFlushes     uint64
+	ConflictTerminations uint64
+	SizeTerminations     uint64
+	InorderBlocks        uint64
+	SnoopsObserved       uint64
+	TRAQOccupancySum     uint64 // per-cycle sum, for the Figure 12 average
+	TRAQSamples          uint64
+	TRAQOccupancyHist    [20]uint64 // bins of 10 entries, Figure 12(b)
+	TRAQPeak             int
+	SquashedEntries      uint64
+	DirtyEvictIncrements uint64
+}
+
+// Recorder is the per-core Memory Race Recorder.
+type Recorder struct {
+	core int
+	cfg  Config
+
+	orderer Orderer
+	snoop   *SnoopTable
+
+	traq    []*traqEntry
+	bySeq   map[uint64]*traqEntry
+	pending []uint64 // seqs of uncommitted non-memory dispatches
+
+	cisn       uint64
+	curBlock   uint32
+	curCounted uint64 // instructions counted in the current interval
+
+	retiredUpTo uint64 // highest retired sequence number
+	anyRetired  bool
+
+	logBufBits int // bits accumulated toward the next buffer flush
+
+	intervals    []replaylog.Interval
+	entries      []replaylog.Entry
+	pendingPreds []pendingPred
+	finalized    bool
+
+	Stats Stats
+}
+
+// NewRecorder builds a recorder for the given core. A nil orderer
+// selects the default QuickRec orderer from cfg's signature geometry.
+func NewRecorder(core int, cfg Config, orderer Orderer) *Recorder {
+	if orderer == nil {
+		if cfg.Ordering == OrderingLamport {
+			orderer = NewLamportOrderer(cfg.SigArrays, cfg.SigBits, cfg.SigSeed)
+		} else {
+			orderer = NewQuickRecOrderer(cfg.SigArrays, cfg.SigBits, cfg.SigSeed)
+		}
+	}
+	r := &Recorder{
+		core:    core,
+		cfg:     cfg,
+		orderer: orderer,
+		bySeq:   make(map[uint64]*traqEntry),
+	}
+	if cfg.Variant == Opt {
+		r.snoop = NewSnoopTable(cfg.SnoopArrays, cfg.SnoopEntries)
+	}
+	return r
+}
+
+// Busy reports whether uncounted work remains in the TRAQ.
+func (r *Recorder) Busy() bool { return len(r.traq) > 0 }
+
+// Occupancy returns the current number of TRAQ entries in use.
+func (r *Recorder) Occupancy() int { return len(r.traq) }
+
+// DispatchInstr implements cpu.Hooks.DispatchInstr: memory
+// instructions allocate a TRAQ entry (stalling dispatch when full);
+// non-memory instructions accumulate toward the next entry's NMI
+// field, spilling filler entries when they exceed the field's capacity
+// (paper §4.1).
+func (r *Recorder) DispatchInstr(seq uint64, ins isa.Instr) bool {
+	if !ins.IsMem() {
+		if len(r.pending) >= r.cfg.NMICap {
+			f := &traqEntry{
+				seq:     r.pending[len(r.pending)-1],
+				kind:    kindFiller,
+				nmi:     r.cfg.NMICap,
+				nmiSeqs: append([]uint64(nil), r.pending...),
+			}
+			if !r.alloc(f) {
+				return false
+			}
+			r.pending = r.pending[:0]
+		}
+		r.pending = append(r.pending, seq)
+		r.Stats.Dispatched++
+		return true
+	}
+	e := &traqEntry{seq: seq, nmi: len(r.pending), nmiSeqs: append([]uint64(nil), r.pending...)}
+	switch {
+	case ins.IsAtomic():
+		e.kind = kindAtomic
+	case ins.Op == isa.ST:
+		e.kind = kindStore
+	default:
+		e.kind = kindLoad
+	}
+	if !r.alloc(e) {
+		return false
+	}
+	r.pending = r.pending[:0]
+	r.bySeq[seq] = e
+	r.Stats.Dispatched++
+	return true
+}
+
+func (r *Recorder) alloc(e *traqEntry) bool {
+	if len(r.traq) >= r.cfg.TRAQSize {
+		return false
+	}
+	r.traq = append(r.traq, e)
+	if len(r.traq) > r.Stats.TRAQPeak {
+		r.Stats.TRAQPeak = len(r.traq)
+	}
+	return true
+}
+
+// Perform stamps a TRAQ entry at the access's perform event: the
+// current CISN becomes its PISN, the Snoop Table counters are saved,
+// the value is retained for possible reordered logging, and the line
+// is inserted into the interval signatures (QuickRec inserts at
+// perform time).
+func (r *Recorder) Perform(seq uint64, addr uint64, isRead, isWrite bool, value, storedVal uint64, didWrite bool) {
+	e := r.bySeq[seq]
+	if e == nil {
+		return // squashed wrong-path access
+	}
+	line := addr >> 5
+	e.performed = true
+	e.pisn = r.cisn
+	e.addr = addr
+	e.line = line
+	if isRead {
+		e.loadVal = value
+	}
+	e.storeVal = storedVal
+	e.didWrite = didWrite
+	if r.snoop != nil {
+		e.snoopCnt = r.snoop.Read(line)
+	}
+	if isWrite {
+		// Pin older uncounted same-address entries: their perform
+		// events may not move past this interval (where this store,
+		// if logged reordered, will be patched to).
+		for _, o := range r.traq {
+			if o.seq >= seq {
+				break
+			}
+			if o.kind != kindFiller && o.performed && o.addr == addr && !o.pinned {
+				// Keep the EARLIEST pinning store's interval: any
+				// later pinning store patches no earlier than it.
+				o.pinned = true
+				o.pinISN = r.cisn
+			}
+		}
+	}
+	r.orderer.NotePerform(line, isRead, isWrite)
+}
+
+// RetireInstr implements cpu.Hooks.RetireInstr. Retirement is in
+// program order, so a single high-water mark tells whether any
+// instruction (and hence any TRAQ entry, including fillers) has
+// retired.
+func (r *Recorder) RetireInstr(seq uint64, isMem bool) {
+	r.retiredUpTo = seq
+	r.anyRetired = true
+}
+
+func (r *Recorder) isRetired(seq uint64) bool {
+	return r.anyRetired && r.retiredUpTo >= seq
+}
+
+// Squash implements cpu.Hooks.Squash: TRAQ entries and pending
+// non-memory dispatches from fromSeq on are discarded, mirroring the
+// ROB flush (paper §4.1).
+func (r *Recorder) Squash(fromSeq uint64) {
+	for len(r.pending) > 0 && r.pending[len(r.pending)-1] >= fromSeq {
+		r.pending = r.pending[:len(r.pending)-1]
+	}
+	var restored []uint64
+	for len(r.traq) > 0 {
+		last := r.traq[len(r.traq)-1]
+		if last.seq < fromSeq {
+			break
+		}
+		// Surviving non-memory instructions folded into this entry's
+		// NMI field go back to the pending list.
+		var keep []uint64
+		for _, s := range last.nmiSeqs {
+			if s < fromSeq {
+				keep = append(keep, s)
+			}
+		}
+		restored = append(keep, restored...)
+		delete(r.bySeq, last.seq)
+		r.traq = r.traq[:len(r.traq)-1]
+		r.Stats.SquashedEntries++
+	}
+	if len(restored) > 0 {
+		r.pending = append(restored, r.pending...)
+	}
+	// If the restore overflowed the NMI capacity, re-spill into filler
+	// entries (space exists: the squash just freed TRAQ slots).
+	for len(r.pending) > r.cfg.NMICap {
+		f := &traqEntry{
+			seq:     r.pending[r.cfg.NMICap-1],
+			kind:    kindFiller,
+			nmi:     r.cfg.NMICap,
+			nmiSeqs: append([]uint64(nil), r.pending[:r.cfg.NMICap]...),
+		}
+		if !r.alloc(f) {
+			panic("core: no TRAQ space to re-spill restored NMI instructions")
+		}
+		r.pending = append(r.pending[:0], r.pending[r.cfg.NMICap:]...)
+	}
+}
+
+// ObserveRemote handles a coherence transaction from another core: the
+// Snoop Table counts it, and a signature conflict terminates the
+// current interval. It reports whether a termination happened and the
+// sequence number of the terminated interval, which dependence-edge
+// recording (parallel replay, paper §5.4) uses.
+func (r *Recorder) ObserveRemote(line uint64, isWrite bool, cycle uint64) (terminated bool, seq uint64) {
+	r.Stats.SnoopsObserved++
+	if r.snoop != nil {
+		r.snoop.Observe(line)
+	}
+	if r.orderer.ConflictsRemote(line, isWrite) {
+		r.Stats.ConflictTerminations++
+		seq = r.cisn
+		r.terminate(cycle)
+		return true, seq
+	}
+	return false, 0
+}
+
+// CurrentISN returns the current interval sequence number.
+func (r *Recorder) CurrentISN() uint64 { return r.cisn }
+
+// OrdererClock returns the orderer's logical clock, or 0 when the
+// orderer is physically timestamped.
+func (r *Recorder) OrdererClock() uint64 {
+	if c, ok := r.orderer.(interface{ Clock() uint64 }); ok {
+		return c.Clock()
+	}
+	return 0
+}
+
+// SyncClock raises a logical-clock orderer to at least hint; no-op for
+// physically-timestamped orderers.
+func (r *Recorder) SyncClock(hint uint64) {
+	if s, ok := r.orderer.(interface{ Sync(uint64) }); ok {
+		s.Sync(hint)
+	}
+}
+
+// AddPred records a cross-core dependence predecessor for the interval
+// with the given sequence number (an extension over the paper's
+// QuickRec pairing: explicit edges enable parallel replay à la Cyrus).
+// Intervals not yet terminated accumulate their edges lazily.
+func (r *Recorder) AddPred(seq uint64, pred replaylog.Pred) {
+	r.pendingPreds = append(r.pendingPreds, pendingPred{seq: seq, pred: pred})
+}
+
+// DirtyEvict handles a dirty-line writeback. Under directory
+// coherence the cache loses the ability to observe transactions on the
+// evicted line, so the Snoop Table self-increments to conservatively
+// declare in-flight accesses to it reordered (paper §4.3). Under the
+// snoopy protocol all transactions remain visible and no action is
+// needed.
+func (r *Recorder) DirtyEvict(line uint64, directory bool) {
+	if directory && r.snoop != nil {
+		r.snoop.Observe(line)
+		r.Stats.DirtyEvictIncrements++
+	}
+}
+
+// terminate closes the current interval: the running InorderBlock is
+// flushed and an IntervalFrame with the orderer's timestamp is logged.
+func (r *Recorder) terminate(cycle uint64) {
+	r.flushBlock()
+	r.intervals = append(r.intervals, replaylog.Interval{
+		Seq:       r.cisn,
+		CISN:      uint16(r.cisn),
+		Timestamp: r.orderer.Timestamp(cycle),
+		Entries:   r.entries,
+	})
+	r.entries = nil
+	r.cisn++
+	r.curCounted = 0
+	r.orderer.Reset()
+	r.Stats.Intervals++
+}
+
+func (r *Recorder) flushBlock() {
+	if r.curBlock == 0 {
+		return
+	}
+	r.logEntry(replaylog.Entry{Type: replaylog.InorderBlock, Size: r.curBlock})
+	r.Stats.InorderBlocks++
+	r.curBlock = 0
+}
+
+// logEntry appends an entry to the current interval record and models
+// the hardware log buffer: a full buffer writes back to memory.
+func (r *Recorder) logEntry(e replaylog.Entry) {
+	r.entries = append(r.entries, e)
+	if r.cfg.LogBufferBytes <= 0 {
+		return
+	}
+	r.logBufBits += e.Bits()
+	for r.logBufBits >= r.cfg.LogBufferBytes*8 {
+		r.logBufBits -= r.cfg.LogBufferBytes * 8
+		r.Stats.LogBufferFlushes++
+	}
+}
+
+// Tick runs the counting stage: up to CountPerCycle TRAQ entries drain
+// from the head once they are both performed and retired, in program
+// order. It also samples TRAQ occupancy for Figure 12.
+func (r *Recorder) Tick(cycle uint64) {
+	r.Stats.TRAQOccupancySum += uint64(len(r.traq))
+	r.Stats.TRAQSamples++
+	bin := len(r.traq) / 10
+	if bin >= len(r.Stats.TRAQOccupancyHist) {
+		bin = len(r.Stats.TRAQOccupancyHist) - 1
+	}
+	r.Stats.TRAQOccupancyHist[bin]++
+
+	for n := 0; n < r.cfg.CountPerCycle && len(r.traq) > 0; n++ {
+		e := r.traq[0]
+		if e.kind == kindFiller {
+			if !r.isRetired(e.seq) {
+				return // the filler's instructions have not retired yet
+			}
+			r.count(e, cycle)
+			r.traq = r.traq[1:]
+			continue
+		}
+		if !e.performed || !r.isRetired(e.seq) {
+			return // counting is in order: wait for the head
+		}
+		r.count(e, cycle)
+		r.traq = r.traq[1:]
+		delete(r.bySeq, e.seq)
+	}
+}
+
+// count processes one entry at the TRAQ head (the paper's Counting
+// event) and decides in-order vs reordered.
+func (r *Recorder) count(e *traqEntry, cycle uint64) {
+	if e.kind == kindFiller {
+		r.curBlock += uint32(e.nmi)
+		r.curCounted += uint64(e.nmi)
+		r.Stats.Counted += uint64(e.nmi)
+		r.checkSize(cycle)
+		return
+	}
+
+	r.Stats.Counted += uint64(e.nmi) + 1
+	r.Stats.MemCounted++
+	r.curCounted += uint64(e.nmi) + 1
+
+	inOrder := e.pisn == r.cisn || r.cfg.AssumeSC
+	if inOrder {
+		r.Stats.BaseSameInterval++
+	} else if e.pinned && r.cisn > e.pinISN && !r.cfg.UnsafeDisablePinning {
+		r.Stats.PinnedReorders++
+	} else if r.cfg.Variant == Opt && !r.snoop.Conflicts(e.line, e.snoopCnt) {
+		// No conflicting transaction observed between perform and
+		// counting: move the perform event to the counting point. The
+		// access now logically performs in this interval, so its line
+		// re-enters the current signatures (paper §4.2).
+		inOrder = true
+		r.Stats.OptMoves++
+		r.orderer.NotePerform(e.line, e.kind != kindStore, e.kind != kindLoad)
+	}
+
+	if inOrder {
+		r.curBlock += uint32(e.nmi) + 1
+		r.checkSize(cycle)
+		return
+	}
+
+	// Reordered: flush the preceding in-order run (including this
+	// instruction's NMI prefix) and log a reordered entry.
+	r.curBlock += uint32(e.nmi)
+	r.flushBlock()
+	offset := r.cisn - e.pisn
+	if offset > 0xffff {
+		// CISN is 16 bits in hardware; structurally impossible here
+		// because the TRAQ depth bounds perform-to-count distance, but
+		// keep the log well-formed if configs get exotic.
+		panic(fmt.Sprintf("core: interval offset %d overflows 16 bits", offset))
+	}
+	switch e.kind {
+	case kindLoad:
+		r.logEntry(replaylog.Entry{Type: replaylog.ReorderedLoad, Value: e.loadVal})
+		r.Stats.ReorderedLoads++
+	case kindStore:
+		r.logEntry(replaylog.Entry{
+			Type: replaylog.ReorderedStore, Addr: e.addr, Value: e.storeVal, Offset: uint16(offset),
+		})
+		r.Stats.ReorderedStores++
+	case kindAtomic:
+		r.logEntry(replaylog.Entry{
+			Type: replaylog.ReorderedAtomic, Addr: e.addr, Value: e.loadVal,
+			StoreValue: e.storeVal, DidWrite: e.didWrite, Offset: uint16(offset),
+		})
+		r.Stats.ReorderedAtomics++
+	}
+	r.checkSize(cycle)
+}
+
+func (r *Recorder) checkSize(cycle uint64) {
+	if r.cfg.MaxIntervalInstrs > 0 && r.curCounted >= r.cfg.MaxIntervalInstrs {
+		r.Stats.SizeTerminations++
+		r.terminate(cycle)
+	}
+}
+
+// Halted implements cpu.Hooks.Halted. The trailing non-memory
+// instructions (tracked in r.pending) are folded into a final
+// InorderBlock at Finalize; the argument cross-checks the core's view
+// (spilled filler entries account for any difference in multiples of
+// the NMI capacity).
+func (r *Recorder) Halted(trailingInstrs int) {
+	diff := trailingInstrs - len(r.pending)
+	if diff < 0 || diff%r.cfg.NMICap != 0 {
+		panic(fmt.Sprintf("core %d: recorder sees %d trailing instructions, core retired %d",
+			r.core, len(r.pending), trailingInstrs))
+	}
+}
+
+// Finalize flushes trailing state and returns the core's interval
+// stream. The TRAQ must have drained (machine kept ticking until idle).
+func (r *Recorder) Finalize(cycle uint64) (replaylog.CoreLog, error) {
+	if r.finalized {
+		return replaylog.CoreLog{}, fmt.Errorf("core %d: recorder already finalized", r.core)
+	}
+	if len(r.traq) > 0 {
+		return replaylog.CoreLog{}, fmt.Errorf("core %d: %d TRAQ entries never counted", r.core, len(r.traq))
+	}
+	r.finalized = true
+	// Trailing non-memory instructions (including HALT) form the last
+	// InorderBlock so the replayer executes through the HALT.
+	r.curBlock += uint32(len(r.pending))
+	r.curCounted += uint64(len(r.pending))
+	r.Stats.Counted += uint64(len(r.pending))
+	r.pending = nil
+	r.terminate(cycle)
+	for _, pp := range r.pendingPreds {
+		if pp.seq < uint64(len(r.intervals)) {
+			iv := &r.intervals[pp.seq]
+			iv.Preds = append(iv.Preds, pp.pred)
+		}
+	}
+	return replaylog.CoreLog{Core: r.core, Intervals: r.intervals}, nil
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"relaxreplay/internal/isa"
+	"relaxreplay/internal/replaylog"
+)
+
+// testRecorder returns a small recorder for direct unit testing.
+func testRecorder(v Variant) *Recorder {
+	cfg := DefaultConfig(v)
+	cfg.TRAQSize = 8
+	cfg.MaxIntervalInstrs = 0
+	return NewRecorder(0, cfg, nil)
+}
+
+var (
+	ldIns  = isa.Instr{Op: isa.LD, Rd: 3, Rs1: 1}
+	stIns  = isa.Instr{Op: isa.ST, Rs1: 1, Rs2: 2}
+	amoIns = isa.Instr{Op: isa.AMOADD, Rd: 3, Rs1: 1, Rs2: 2}
+	aluIns = isa.Instr{Op: isa.ADD, Rd: 3, Rs1: 1, Rs2: 2}
+)
+
+// drive pushes a full in-order lifecycle for one memory instruction.
+func drive(r *Recorder, seq uint64, ins isa.Instr, addr uint64) {
+	r.DispatchInstr(seq, ins)
+	r.Perform(seq, addr, ins.IsLoad(), ins.IsStore(), 7, 9, ins.IsStore())
+	r.RetireInstr(seq, true)
+}
+
+func finalize(t *testing.T, r *Recorder, cycle uint64) replaylog.CoreLog {
+	t.Helper()
+	for i := 0; i < 100 && r.Busy(); i++ {
+		r.Tick(cycle)
+	}
+	if r.Busy() {
+		t.Fatal("TRAQ never drained")
+	}
+	cl, err := r.Finalize(cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestTRAQFullStallsDispatch(t *testing.T) {
+	r := testRecorder(Base)
+	for i := uint64(0); i < 8; i++ {
+		if !r.DispatchInstr(i, ldIns) {
+			t.Fatalf("dispatch %d rejected below capacity", i)
+		}
+	}
+	if r.DispatchInstr(8, ldIns) {
+		t.Fatal("dispatch accepted with a full TRAQ")
+	}
+	if r.Occupancy() != 8 {
+		t.Fatalf("occupancy = %d", r.Occupancy())
+	}
+}
+
+func TestInorderCountingProducesOneBlock(t *testing.T) {
+	r := testRecorder(Base)
+	for i := uint64(0); i < 5; i++ {
+		drive(r, i, ldIns, 0x100)
+		r.Tick(uint64(10 + i))
+	}
+	cl := finalize(t, r, 100)
+	if len(cl.Intervals) != 1 {
+		t.Fatalf("intervals = %d", len(cl.Intervals))
+	}
+	es := cl.Intervals[0].Entries
+	if len(es) != 1 || es[0].Type != replaylog.InorderBlock || es[0].Size != 5 {
+		t.Fatalf("entries = %+v", es)
+	}
+}
+
+func TestNMIAccountingAndFillers(t *testing.T) {
+	r := testRecorder(Base)
+	seq := uint64(0)
+	// 20 non-memory instructions: one filler (15) + 5 pending.
+	for i := 0; i < 20; i++ {
+		if !r.DispatchInstr(seq, aluIns) {
+			t.Fatal("non-mem dispatch rejected")
+		}
+		r.RetireInstr(seq, false)
+		seq++
+	}
+	drive(r, seq, ldIns, 0x40)
+	seq++
+	cl := finalize(t, r, 50)
+	// Total instructions: 20 non-mem + 1 load = 21 in one block.
+	if got := cl.Intervals[0].Instructions(); got != 21 {
+		t.Fatalf("interval instructions = %d", got)
+	}
+}
+
+func TestConflictTerminatesInterval(t *testing.T) {
+	r := testRecorder(Base)
+	drive(r, 0, stIns, 0x200) // write 0x200 -> write signature
+	r.Tick(5)
+	r.Tick(6)
+	// A remote read of the same line conflicts.
+	r.ObserveRemote(0x200>>5, false, 20)
+	if r.Stats.ConflictTerminations != 1 {
+		t.Fatalf("terminations = %d", r.Stats.ConflictTerminations)
+	}
+	// A remote read of an unrelated line does not.
+	r.ObserveRemote(0x4000>>5, false, 21)
+	if r.Stats.ConflictTerminations != 1 {
+		t.Fatal("unrelated line terminated the interval")
+	}
+	drive(r, 1, ldIns, 0x300)
+	cl := finalize(t, r, 60)
+	if len(cl.Intervals) != 2 {
+		t.Fatalf("intervals = %d", len(cl.Intervals))
+	}
+	if cl.Intervals[0].Timestamp != 20 {
+		t.Fatalf("terminated interval timestamp = %d", cl.Intervals[0].Timestamp)
+	}
+}
+
+func TestRemoteWriteConflictsWithReadSignature(t *testing.T) {
+	r := testRecorder(Base)
+	drive(r, 0, ldIns, 0x200)
+	r.Tick(5)
+	r.ObserveRemote(0x200>>5, false, 10) // remote READ vs our read: no conflict
+	if r.Stats.ConflictTerminations != 0 {
+		t.Fatal("read-read terminated the interval")
+	}
+	r.ObserveRemote(0x200>>5, true, 11) // remote WRITE vs our read: conflict
+	if r.Stats.ConflictTerminations != 1 {
+		t.Fatal("write-after-read missed")
+	}
+	finalize(t, r, 60)
+}
+
+func TestBaseReordersAcrossIntervals(t *testing.T) {
+	r := testRecorder(Base)
+	// Load performs in interval 0...
+	r.DispatchInstr(0, ldIns)
+	r.Perform(0, 0x100, true, false, 42, 0, false)
+	// ...then a conflicting snoop on an unrelated line we also read.
+	r.DispatchInstr(1, ldIns)
+	r.Perform(1, 0x900, true, false, 5, 0, false)
+	r.ObserveRemote(0x900>>5, true, 10) // terminates interval 0
+	r.RetireInstr(0, true)
+	r.RetireInstr(1, true)
+	cl := finalize(t, r, 50)
+	if r.Stats.ReorderedLoads != 2 {
+		t.Fatalf("reordered loads = %d (both crossed the boundary)", r.Stats.ReorderedLoads)
+	}
+	// The reordered load entries carry the recorded values.
+	var vals []uint64
+	for _, iv := range cl.Intervals {
+		for _, e := range iv.Entries {
+			if e.Type == replaylog.ReorderedLoad {
+				vals = append(vals, e.Value)
+			}
+		}
+	}
+	if len(vals) != 2 || vals[0] != 42 || vals[1] != 5 {
+		t.Fatalf("reordered values = %v", vals)
+	}
+}
+
+func TestOptMovesUnobservedAccess(t *testing.T) {
+	r := testRecorder(Opt)
+	r.DispatchInstr(0, ldIns)
+	r.Perform(0, 0x100, true, false, 42, 0, false)
+	// Unrelated conflict terminates the interval...
+	r.DispatchInstr(1, stIns)
+	r.Perform(1, 0x900, false, true, 0, 1, true)
+	r.ObserveRemote(0x900>>5, false, 10)
+	r.RetireInstr(0, true)
+	r.RetireInstr(1, true)
+	// ...but nothing touched line 0x100, so Opt moves the load.
+	cl := finalize(t, r, 50)
+	if r.Stats.OptMoves == 0 {
+		t.Fatal("expected an Opt move")
+	}
+	if r.Stats.ReorderedLoads != 0 {
+		t.Fatalf("reordered loads = %d", r.Stats.ReorderedLoads)
+	}
+	_ = cl
+}
+
+func TestOptDetectsTrueConflict(t *testing.T) {
+	r := testRecorder(Opt)
+	r.DispatchInstr(0, ldIns)
+	r.Perform(0, 0x100, true, false, 42, 0, false)
+	// A remote write to the LOADED line arrives before counting.
+	r.ObserveRemote(0x100>>5, true, 10) // also terminates (read sig)
+	r.RetireInstr(0, true)
+	finalize(t, r, 50)
+	if r.Stats.ReorderedLoads != 1 {
+		t.Fatalf("reordered loads = %d, want 1 (true conflict)", r.Stats.ReorderedLoads)
+	}
+	if r.Stats.OptMoves != 0 {
+		t.Fatal("conflicting access must not be moved")
+	}
+}
+
+func TestReorderedStoreEntryAndOffset(t *testing.T) {
+	r := testRecorder(Base)
+	r.DispatchInstr(0, stIns)
+	r.Perform(0, 0x108, false, true, 0, 77, true)
+	// Two unrelated terminations -> offset 2.
+	r.DispatchInstr(1, ldIns)
+	r.Perform(1, 0x900, true, false, 1, 0, false)
+	r.ObserveRemote(0x900>>5, true, 10)
+	r.DispatchInstr(2, ldIns)
+	r.Perform(2, 0xA00, true, false, 1, 0, false)
+	r.ObserveRemote(0xA00>>5, true, 12)
+	for i := uint64(0); i < 3; i++ {
+		r.RetireInstr(i, true)
+	}
+	cl := finalize(t, r, 50)
+	var st *replaylog.Entry
+	for i := range cl.Intervals {
+		for j := range cl.Intervals[i].Entries {
+			if cl.Intervals[i].Entries[j].Type == replaylog.ReorderedStore {
+				st = &cl.Intervals[i].Entries[j]
+			}
+		}
+	}
+	if st == nil {
+		t.Fatal("no ReorderedStore entry")
+	}
+	if st.Addr != 0x108 || st.Value != 77 || st.Offset != 2 {
+		t.Fatalf("store entry = %+v", st)
+	}
+}
+
+func TestReorderedAtomicEntry(t *testing.T) {
+	r := testRecorder(Base)
+	r.DispatchInstr(0, amoIns)
+	r.Perform(0, 0x108, true, true, 5, 6, true)
+	r.DispatchInstr(1, ldIns)
+	r.Perform(1, 0x900, true, false, 1, 0, false)
+	r.ObserveRemote(0x900>>5, true, 10)
+	r.RetireInstr(0, true)
+	r.RetireInstr(1, true)
+	cl := finalize(t, r, 50)
+	found := false
+	for _, iv := range cl.Intervals {
+		for _, e := range iv.Entries {
+			if e.Type == replaylog.ReorderedAtomic {
+				found = true
+				if e.Value != 5 || e.StoreValue != 6 || !e.DidWrite || e.Offset != 1 {
+					t.Fatalf("atomic entry = %+v", e)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no ReorderedAtomic entry")
+	}
+	if r.Stats.ReorderedAtomics != 1 {
+		t.Fatalf("stats = %+v", r.Stats)
+	}
+}
+
+func TestSquashRestoresPendingNMI(t *testing.T) {
+	r := testRecorder(Base)
+	// Two surviving non-mem instructions...
+	r.DispatchInstr(0, aluIns)
+	r.DispatchInstr(1, aluIns)
+	// ...consumed by a wrong-path store that then gets squashed.
+	r.DispatchInstr(2, stIns)
+	r.DispatchInstr(3, aluIns) // wrong path too
+	r.Squash(2)
+	// The survivors must be restored: a correct-path load now carries
+	// NMI = 2.
+	drive(r, 4, ldIns, 0x40)
+	r.RetireInstr(0, false)
+	r.RetireInstr(1, false)
+	r.RetireInstr(4, true)
+	cl := finalize(t, r, 50)
+	if got := cl.Intervals[0].Instructions(); got != 3 {
+		t.Fatalf("instructions = %d, want 3 (2 ALU + 1 load)", got)
+	}
+	if r.Stats.SquashedEntries != 1 {
+		t.Fatalf("squashed entries = %d", r.Stats.SquashedEntries)
+	}
+}
+
+func TestSquashedFillerRestoredPartially(t *testing.T) {
+	cfg := DefaultConfig(Base)
+	cfg.NMICap = 4
+	cfg.MaxIntervalInstrs = 0
+	r := NewRecorder(0, cfg, nil)
+	// 5 non-mem: filler spills at the 5th (holding seqs 0-3).
+	for i := uint64(0); i < 5; i++ {
+		r.DispatchInstr(i, aluIns)
+	}
+	if r.Occupancy() != 1 {
+		t.Fatalf("fillers = %d", r.Occupancy())
+	}
+	// Squash from seq 2: the filler (holding 0..3) must be replaced by
+	// pending survivors {0,1}; seq 4 dies too.
+	r.Squash(2)
+	if r.Occupancy() != 0 {
+		t.Fatalf("occupancy after squash = %d", r.Occupancy())
+	}
+	drive(r, 5, ldIns, 0x40)
+	for _, s := range []uint64{0, 1} {
+		r.RetireInstr(s, false)
+	}
+	r.RetireInstr(5, true)
+	cl := finalize(t, r, 50)
+	if got := cl.Intervals[0].Instructions(); got != 3 {
+		t.Fatalf("instructions = %d, want 3", got)
+	}
+}
+
+func TestMaxIntervalSizeTerminates(t *testing.T) {
+	cfg := DefaultConfig(Base)
+	cfg.MaxIntervalInstrs = 4
+	r := NewRecorder(0, cfg, nil)
+	for i := uint64(0); i < 8; i++ {
+		drive(r, i, ldIns, 0x100+8*i)
+		r.Tick(uint64(i))
+	}
+	cl := finalize(t, r, 100)
+	if r.Stats.SizeTerminations < 2 {
+		t.Fatalf("size terminations = %d", r.Stats.SizeTerminations)
+	}
+	for _, iv := range cl.Intervals[:len(cl.Intervals)-1] {
+		if n := iv.Instructions(); n != 4 {
+			t.Fatalf("interval holds %d instructions, want 4", n)
+		}
+	}
+}
+
+func TestCountingRequiresRetirement(t *testing.T) {
+	r := testRecorder(Base)
+	r.DispatchInstr(0, ldIns)
+	r.Perform(0, 0x100, true, false, 1, 0, false)
+	r.Tick(1)
+	if !r.Busy() {
+		t.Fatal("unretired access counted")
+	}
+	r.RetireInstr(0, true)
+	r.Tick(2)
+	if r.Busy() {
+		t.Fatal("retired+performed access not counted")
+	}
+}
+
+func TestCountingBandwidthLimit(t *testing.T) {
+	r := testRecorder(Base)
+	for i := uint64(0); i < 6; i++ {
+		drive(r, i, ldIns, 0x100)
+	}
+	r.Tick(1)
+	if got := r.Occupancy(); got != 4 {
+		t.Fatalf("occupancy after one tick = %d, want 4 (2/cycle)", got)
+	}
+	finalize(t, r, 50)
+}
+
+func TestDirtyEvictIncrementsSnoopTableInDirectoryMode(t *testing.T) {
+	r := testRecorder(Opt)
+	r.DispatchInstr(0, ldIns)
+	r.Perform(0, 0x100, true, false, 1, 0, false)
+	// Terminate so PISN != CISN at counting.
+	r.DispatchInstr(1, stIns)
+	r.Perform(1, 0x900, false, true, 0, 1, true)
+	r.ObserveRemote(0x900>>5, false, 5)
+	// Directory-mode dirty eviction of the loaded line: the Snoop
+	// Table self-increments, so the load must be declared reordered.
+	r.DirtyEvict(0x100>>5, true)
+	if r.Stats.DirtyEvictIncrements != 1 {
+		t.Fatal("dirty eviction not counted")
+	}
+	r.RetireInstr(0, true)
+	r.RetireInstr(1, true)
+	finalize(t, r, 50)
+	if r.Stats.ReorderedLoads != 1 {
+		t.Fatalf("reordered = %d; dirty eviction must pessimize the move", r.Stats.ReorderedLoads)
+	}
+}
+
+func TestDirtyEvictIgnoredInSnoopyMode(t *testing.T) {
+	r := testRecorder(Opt)
+	r.DirtyEvict(0x100>>5, false)
+	if r.Stats.DirtyEvictIncrements != 0 {
+		t.Fatal("snoopy mode must not self-increment")
+	}
+}
+
+func TestPinningForbidsMove(t *testing.T) {
+	r := testRecorder(Opt)
+	// Older load performs...
+	r.DispatchInstr(0, ldIns)
+	r.Perform(0, 0x100, true, false, 42, 0, false)
+	// ...a younger same-address store performs (pins the load)...
+	r.DispatchInstr(1, stIns)
+	r.Perform(1, 0x100, false, true, 0, 9, true)
+	// ...and an unrelated conflict moves the interval on.
+	r.DispatchInstr(2, ldIns)
+	r.Perform(2, 0x900, true, false, 0, 0, false)
+	r.ObserveRemote(0x900>>5, true, 10)
+	for i := uint64(0); i < 3; i++ {
+		r.RetireInstr(i, true)
+	}
+	finalize(t, r, 50)
+	if r.Stats.PinnedReorders == 0 {
+		t.Fatal("pinned access was moved")
+	}
+}
+
+func TestFinalizeChecks(t *testing.T) {
+	r := testRecorder(Base)
+	r.DispatchInstr(0, ldIns) // never performs
+	if _, err := r.Finalize(10); err == nil || !strings.Contains(err.Error(), "never counted") {
+		t.Fatalf("err = %v", err)
+	}
+	r2 := testRecorder(Base)
+	if _, err := r2.Finalize(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Finalize(10); err == nil {
+		t.Fatal("double finalize accepted")
+	}
+}
+
+func TestHaltedCrossCheck(t *testing.T) {
+	r := testRecorder(Base)
+	r.DispatchInstr(0, aluIns)
+	r.RetireInstr(0, false)
+	r.Halted(1) // matches
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched trailing count not caught")
+		}
+	}()
+	r.Halted(2) // recorder has 1 pending, diff=1 not a multiple of 15
+}
+
+func TestPerformOnSquashedSeqIgnored(t *testing.T) {
+	r := testRecorder(Base)
+	r.DispatchInstr(0, ldIns)
+	r.Squash(0)
+	r.Perform(0, 0x100, true, false, 1, 0, false) // stale event
+	if r.Busy() {
+		t.Fatal("squashed entry still live")
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"relaxreplay/internal/coherence"
+	"relaxreplay/internal/cpu"
+	"relaxreplay/internal/isa"
+	"relaxreplay/internal/machine"
+	"relaxreplay/internal/replaylog"
+)
+
+// Workload is a multithreaded program plus its environment: one
+// program per core, optional external input streams (the OS input
+// log), and initial memory contents.
+type Workload struct {
+	Name    string
+	Progs   []isa.Program
+	Inputs  [][]uint64
+	InitMem map[uint64]uint64
+}
+
+// Result is the outcome of a recording run.
+type Result struct {
+	Log    *replaylog.Log
+	Cycles uint64
+
+	CoreStats []cpu.Stats
+	RecStats  []Stats
+	MemStats  coherence.Stats
+
+	// FinalMemory and FinalRegs capture the recorded execution's
+	// architectural outcome, used to verify deterministic replay.
+	FinalMemory map[uint64]uint64
+	FinalRegs   [][isa.NumRegs]uint64
+}
+
+// Session wires per-core Recorders into a machine: the full
+// RelaxReplay recording system.
+type Session struct {
+	M         *machine.Machine
+	Recorders []*Recorder
+	workload  Workload
+	rcfg      Config
+}
+
+// NewSession builds a recording session for the workload.
+func NewSession(mcfg machine.Config, rcfg Config, w Workload) *Session {
+	recs := make([]*Recorder, mcfg.Cores)
+	for i := range recs {
+		recs[i] = NewRecorder(i, rcfg, nil)
+	}
+	hookFor := func(i int) cpu.Hooks {
+		r := recs[i]
+		return cpu.Hooks{
+			DispatchInstr: r.DispatchInstr,
+			RetireInstr:   r.RetireInstr,
+			LocalPerform: func(seq, addr, value uint64) {
+				r.Perform(seq, addr, true, false, value, 0, false)
+			},
+			Squash: r.Squash,
+			Halted: r.Halted,
+		}
+	}
+	m := machine.New(mcfg, w.Progs, hookFor)
+	m.InitMemory(w.InitMem)
+	for i, in := range w.Inputs {
+		m.SetInputs(i, in)
+	}
+	m.PerformSink = func(ev coherence.PerformEvent) {
+		recs[ev.Core].Perform(ev.ID, ev.Addr, ev.IsRead, ev.IsWrite, ev.Value, ev.StoredVal, ev.DidWrite)
+	}
+	directory := mcfg.Mem.Protocol == coherence.Directory
+	m.Sys.OnRemoteSnoop = func(c int, line uint64, isWrite bool, requester int, cycle uint64) {
+		terminated, seq := recs[c].ObserveRemote(line, isWrite, cycle)
+		if terminated && requester >= 0 && requester < len(recs) {
+			// Cyrus-style dependence edge: the terminated interval of
+			// core c must replay before the requester's interval that
+			// will contain the conflicting access (its current one or
+			// a later one; later intervals follow by program order).
+			recs[requester].AddPred(recs[requester].CurrentISN(),
+				replaylog.Pred{Core: c, Seq: seq})
+		}
+	}
+	m.Sys.OnDirtyEvict = func(c int, line uint64, cycle uint64) {
+		recs[c].DirtyEvict(line, directory)
+	}
+	if rcfg.Ordering == OrderingLamport {
+		m.Sys.ClockOf = func(c int) uint64 { return recs[c].OrdererClock() }
+		m.Sys.OnHint = func(c int, hint uint64) { recs[c].SyncClock(hint) }
+	}
+	return &Session{M: m, Recorders: recs, workload: w, rcfg: rcfg}
+}
+
+// Run records the workload to completion and returns the log.
+func (s *Session) Run() (*Result, error) {
+	m := s.M
+	for {
+		done := m.Done()
+		if done {
+			for _, r := range s.Recorders {
+				if r.Busy() {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			break
+		}
+		if m.Cycle() >= m.Config().MaxCycles {
+			return nil, fmt.Errorf("core: recording exceeded %d cycles (deadlock?)", m.Config().MaxCycles)
+		}
+		m.Step()
+		for _, r := range s.Recorders {
+			r.Tick(m.Cycle())
+		}
+		for _, c := range m.Cores {
+			if err := c.Err(); err != nil {
+				return nil, fmt.Errorf("core: recording: core %d: %w", c.ID(), err)
+			}
+		}
+	}
+
+	log := &replaylog.Log{
+		Cores:   m.Config().Cores,
+		Variant: s.rcfg.Variant.String(),
+		Inputs:  s.workload.Inputs,
+	}
+	if log.Inputs == nil {
+		log.Inputs = make([][]uint64, m.Config().Cores)
+	}
+	res := &Result{
+		Log:         log,
+		Cycles:      m.Cycle(),
+		MemStats:    m.Sys.Stats,
+		FinalMemory: m.FinalMemory(),
+	}
+	for i, r := range s.Recorders {
+		stream, err := r.Finalize(m.Cycle())
+		if err != nil {
+			return nil, err
+		}
+		log.Streams = append(log.Streams, stream)
+		res.CoreStats = append(res.CoreStats, m.Cores[i].Stats)
+		res.RecStats = append(res.RecStats, r.Stats)
+		res.FinalRegs = append(res.FinalRegs, m.Cores[i].ArchRegs())
+	}
+	if err := log.Validate(); err != nil {
+		return nil, fmt.Errorf("core: recorded log invalid: %w", err)
+	}
+	return res, nil
+}
+
+// Record is the one-call convenience wrapper: build a session and run it.
+func Record(mcfg machine.Config, rcfg Config, w Workload) (*Result, error) {
+	return NewSession(mcfg, rcfg, w).Run()
+}

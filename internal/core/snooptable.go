@@ -1,0 +1,89 @@
+package core
+
+// SnoopTable is RelaxReplay_Opt's conflict-detection structure (paper
+// §4.2, Figure 8): per array, a bank of wrap-around counters indexed
+// by a hash of the line address. Every observed coherence transaction
+// increments one counter per array; an access whose counters all
+// changed between its perform and counting events is declared
+// reordered. Using multiple arrays with different hash functions makes
+// "only some counters changed" attributable to aliasing, so such
+// accesses are safely declared in order.
+//
+// The structure is conservative: it can only over-report conflicts
+// (aliasing false positives), never miss one, as long as the counters
+// cannot wrap all the way around between a perform and its counting —
+// which the paper's 16-bit sizing guarantees in practice and the TRAQ
+// depth bounds structurally.
+type SnoopTable struct {
+	counters [][]uint16
+	seeds    []uint64
+}
+
+// SnoopCount is the per-access saved counter vector (the TRAQ entry's
+// Snoop Count field, 4 bytes in the paper's 2-array configuration).
+type SnoopCount [maxSnoopArrays]uint16
+
+const maxSnoopArrays = 4
+
+// NewSnoopTable builds a table of `arrays` banks of `entries` counters.
+func NewSnoopTable(arrays, entries int) *SnoopTable {
+	if arrays < 1 || arrays > maxSnoopArrays || entries < 1 || entries&(entries-1) != 0 {
+		panic("core: snoop table needs 1..4 arrays and a power-of-two entry count")
+	}
+	t := &SnoopTable{
+		counters: make([][]uint16, arrays),
+		seeds:    make([]uint64, arrays),
+	}
+	for a := range t.counters {
+		t.counters[a] = make([]uint16, entries)
+		t.seeds[a] = 0x9e3779b97f4a7c15 * uint64(a+1)
+	}
+	return t
+}
+
+func (t *SnoopTable) index(a int, line uint64) int {
+	h := (line ^ t.seeds[a]) * 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= t.seeds[a] | 1
+	h ^= h >> 29
+	return int(h) & (len(t.counters[a]) - 1)
+}
+
+// Observe records a coherence transaction on line (incrementing one
+// counter per array; wrap-around is fine).
+func (t *SnoopTable) Observe(line uint64) {
+	for a := range t.counters {
+		t.counters[a][t.index(a, line)]++
+	}
+}
+
+// Read returns the current counter vector for line, saved into the
+// TRAQ entry at perform time.
+func (t *SnoopTable) Read(line uint64) SnoopCount {
+	var c SnoopCount
+	for a := range t.counters {
+		c[a] = t.counters[a][t.index(a, line)]
+	}
+	return c
+}
+
+// Conflicts reports whether the line may have been the target of a
+// transaction since saved was read: true only when every counter
+// changed (fewer changes are attributed to aliasing, per the paper).
+func (t *SnoopTable) Conflicts(line uint64, saved SnoopCount) bool {
+	for a := range t.counters {
+		if t.counters[a][t.index(a, line)] == saved[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the hardware cost of the table.
+func (t *SnoopTable) SizeBytes() int {
+	n := 0
+	for a := range t.counters {
+		n += 2 * len(t.counters[a])
+	}
+	return n
+}

@@ -1,0 +1,796 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"relaxreplay/internal/coherence"
+	"relaxreplay/internal/isa"
+)
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	id    int
+	cfg   Config
+	prog  isa.Program
+	mem   MemPort
+	hooks Hooks
+
+	cycle   uint64
+	pc      int
+	nextSeq uint64
+
+	fetchStallUntil uint64
+	haltSeq         int64 // seq of a dispatched HALT, -1 when none
+	halted          bool
+	err             error
+
+	archRegs [isa.NumRegs]uint64
+	regOwner [isa.NumRegs]*uop
+
+	rob       []*uop
+	lsq       []*uop // memory ops and fences, program order
+	wb        []*wbEntry
+	readyALU  []*uop
+	executing []*uop
+	bySeq     map[uint64]*uop
+
+	predictor []uint8
+
+	inputs []uint64
+	inPos  int
+
+	nonMemSinceMemRetire int
+
+	Stats Stats
+}
+
+// New builds a core executing prog against mem. Initial register state
+// can be set with SetReg before the first Tick.
+func New(id int, cfg Config, prog isa.Program, mem MemPort, hooks Hooks) *Core {
+	c := &Core{
+		id:        id,
+		cfg:       cfg,
+		prog:      prog,
+		mem:       mem,
+		hooks:     hooks,
+		haltSeq:   -1,
+		bySeq:     make(map[uint64]*uop),
+		predictor: make([]uint8, 1<<cfg.PredictorBits),
+	}
+	for i := range c.predictor {
+		c.predictor[i] = 2 // weakly taken
+	}
+	return c
+}
+
+// SetReg initializes an architectural register (e.g. the thread id).
+func (c *Core) SetReg(r isa.Reg, v uint64) {
+	if r != 0 {
+		c.archRegs[r] = v
+	}
+}
+
+// SetInputs provides the external input stream consumed by IN.
+func (c *Core) SetInputs(in []uint64) { c.inputs = in }
+
+// Halted reports whether the core has retired HALT.
+func (c *Core) Halted() bool { return c.halted }
+
+// Err returns the execution error, if any (e.g. input exhaustion).
+func (c *Core) Err() error { return c.err }
+
+// Quiesced reports whether the core has no in-flight work left.
+func (c *Core) Quiesced() bool {
+	return c.halted && len(c.rob) == 0 && len(c.wb) == 0
+}
+
+// ArchRegs returns the architectural register file (valid once halted).
+func (c *Core) ArchRegs() [isa.NumRegs]uint64 { return c.archRegs }
+
+// ID returns the core id.
+func (c *Core) ID() int { return c.id }
+
+// HandlePerform delivers a memory-system perform event: the access
+// bound its value this cycle. It may be called synchronously from
+// inside a Submit, so it must not mutate the pipeline queues; a
+// performed write-buffer store is swept out by drainWB.
+func (c *Core) HandlePerform(ev coherence.PerformEvent) {
+	u := c.bySeq[ev.ID]
+	if u == nil {
+		return // squashed wrong-path access
+	}
+	c.markPerformed(u, ev.Cycle)
+}
+
+// HandleCompletion delivers the pipeline notification for a load, RMW
+// or store submitted to the memory system.
+func (c *Core) HandleCompletion(ev coherence.Completion) {
+	u := c.bySeq[ev.ID]
+	if u == nil || u.state == uopDone {
+		return // squashed, or a store (already finished via perform)
+	}
+	if u.ins.Op == isa.ST {
+		return
+	}
+	c.finish(u, ev.Value)
+}
+
+// markPerformed records the perform event and whether it was out of
+// program order (an older memory op still pending), for Figure 1.
+func (c *Core) markPerformed(u *uop, cycle uint64) {
+	if u.performed {
+		return
+	}
+	u.performed = true
+	u.performCycle = cycle
+	u.oooPerform = c.olderMemPending(u.seq)
+	// Stores perform after retirement (from the write buffer), so
+	// their Figure 1 accounting happens here; loads are counted when
+	// they retire (wrong-path loads must not count).
+	if u.ins.Op == isa.ST && u.oooPerform {
+		c.Stats.OOOStores++
+	}
+}
+
+// olderMemPending reports whether any memory op older than seq has not
+// performed yet.
+func (c *Core) olderMemPending(seq uint64) bool {
+	for _, e := range c.wb {
+		if e.u.seq < seq && !e.u.performed {
+			return true
+		}
+	}
+	for _, u := range c.lsq {
+		if u.seq >= seq {
+			break
+		}
+		if u.isMem() && !u.performed {
+			return true
+		}
+	}
+	return false
+}
+
+// finish completes a uop's execution: the result is available and
+// waiting consumers wake.
+func (c *Core) finish(u *uop, val uint64) {
+	u.val = val
+	u.state = uopDone
+	for _, w := range u.waiters {
+		if w.squashed {
+			continue
+		}
+		for i := range w.srcOwner {
+			if w.srcOwner[i] == u {
+				w.srcOwner[i] = nil
+				w.srcVal[i] = val
+				w.pendingSrc--
+			}
+		}
+		if w.pendingSrc == 0 && w.state == uopWaiting && c.wantsALUQueue(w) {
+			c.pushReady(w)
+		}
+	}
+	u.waiters = nil
+}
+
+// wantsALUQueue reports whether the uop issues through the ALU ready
+// queue (memory ops, fences, IN and RMW are handled elsewhere).
+func (c *Core) wantsALUQueue(u *uop) bool {
+	switch u.ins.Op {
+	case isa.LD, isa.FENCE, isa.IN, isa.AMOADD, isa.AMOSWAP, isa.CAS, isa.HALT, isa.NOP, isa.JMP:
+		return false
+	}
+	return true
+}
+
+func (c *Core) pushReady(u *uop) {
+	u.state = uopReady
+	i := sort.Search(len(c.readyALU), func(i int) bool { return c.readyALU[i].seq > u.seq })
+	c.readyALU = append(c.readyALU, nil)
+	copy(c.readyALU[i+1:], c.readyALU[i:])
+	c.readyALU[i] = u
+}
+
+// Tick advances the core one cycle. The machine must deliver this
+// cycle's perform and completion events before calling Tick.
+func (c *Core) Tick(cycle uint64) {
+	c.cycle = cycle
+	if c.err != nil || c.Quiesced() {
+		return
+	}
+	c.Stats.Cycles++
+	c.completeExecuting()
+	c.retire()
+	c.issueMem()
+	c.issueALU()
+	c.dispatch()
+}
+
+// completeExecuting finishes ALU-class uops whose latency elapsed.
+// Executing a branch may squash (which rewrites c.executing), so the
+// walk runs over a detached snapshot.
+func (c *Core) completeExecuting() {
+	snapshot := c.executing
+	c.executing = nil
+	for _, u := range snapshot {
+		if u.squashed {
+			continue
+		}
+		if u.doneAt > c.cycle {
+			c.executing = append(c.executing, u)
+			continue
+		}
+		c.execute(u)
+	}
+}
+
+// execute applies the architectural semantics of an ALU-class uop.
+func (c *Core) execute(u *uop) {
+	ins := u.ins
+	switch {
+	case ins.Op == isa.IN || u.forwarded:
+		c.finish(u, u.val) // value already bound
+	case ins.IsBranch():
+		taken := isa.BranchTaken(ins, u.srcVal[0], u.srcVal[1])
+		c.trainPredictor(u.pc, taken)
+		c.finish(u, 0)
+		if taken != u.predictedTaken {
+			c.Stats.Mispredicts++
+			c.mispredict(u, taken)
+		}
+	case ins.Op == isa.ST:
+		u.addr = isa.EffAddr(ins, u.srcVal[0])
+		u.addrKnown = true
+		c.finish(u, u.srcVal[1]) // val holds the store data
+	default:
+		c.finish(u, isa.EvalALU(ins, u.srcVal[0], u.srcVal[1]))
+	}
+}
+
+// mispredict squashes the wrong path and redirects fetch.
+func (c *Core) mispredict(u *uop, taken bool) {
+	c.squashAfter(u.seq)
+	if taken {
+		c.pc = int(u.ins.Imm)
+	} else {
+		c.pc = u.pc + 1
+	}
+	c.fetchStallUntil = c.cycle + c.cfg.MispredictPenalty
+}
+
+// squashAfter removes every uop with seq > after from the pipeline.
+func (c *Core) squashAfter(after uint64) {
+	cut := len(c.rob)
+	for cut > 0 && c.rob[cut-1].seq > after {
+		u := c.rob[cut-1]
+		u.squashed = true
+		delete(c.bySeq, u.seq)
+		c.Stats.SquashedUops++
+		cut--
+	}
+	if cut == len(c.rob) {
+		return
+	}
+	c.rob = c.rob[:cut]
+
+	keepUops := func(s []*uop) []*uop {
+		out := s[:0]
+		for _, u := range s {
+			if !u.squashed {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	c.lsq = keepUops(c.lsq)
+	c.readyALU = keepUops(c.readyALU)
+	c.executing = keepUops(c.executing)
+
+	// Rebuild the rename table from the surviving ROB.
+	for r := range c.regOwner {
+		c.regOwner[r] = nil
+	}
+	for _, u := range c.rob {
+		if u.ins.WritesReg() {
+			c.regOwner[u.ins.Rd] = u
+		}
+	}
+	if c.haltSeq > int64(after) {
+		c.haltSeq = -1
+	}
+	if c.hooks.Squash != nil {
+		c.hooks.Squash(after + 1)
+	}
+}
+
+func (c *Core) predictorIdx(pc int) int { return pc & (len(c.predictor) - 1) }
+
+func (c *Core) predictTaken(pc int) bool { return c.predictor[c.predictorIdx(pc)] >= 2 }
+
+func (c *Core) trainPredictor(pc int, taken bool) {
+	i := c.predictorIdx(pc)
+	if taken {
+		if c.predictor[i] < 3 {
+			c.predictor[i]++
+		}
+	} else if c.predictor[i] > 0 {
+		c.predictor[i]--
+	}
+}
+
+// retire commits up to IssueWidth instructions in program order.
+func (c *Core) retire() {
+	for n := 0; n < c.cfg.IssueWidth && len(c.rob) > 0; n++ {
+		u := c.rob[0]
+		switch {
+		case u.ins.Op == isa.ST:
+			if u.state != uopDone {
+				return
+			}
+			if len(c.wb) >= c.cfg.WBSize {
+				c.Stats.RetireStallWB++
+				return
+			}
+			c.wb = append(c.wb, &wbEntry{u: u})
+			// Stays in bySeq until the write buffer drains it.
+		case u.ins.IsMem(): // loads, atomics
+			if u.state != uopDone || !u.performed {
+				return
+			}
+		case u.ins.Op == isa.FENCE:
+			if !c.fenceDone(u) {
+				return
+			}
+		case u.ins.Op == isa.HALT:
+			c.halted = true
+			c.Stats.Retired++
+			c.nonMemSinceMemRetire++
+			c.rob = c.rob[1:]
+			delete(c.bySeq, u.seq)
+			if c.hooks.RetireInstr != nil {
+				c.hooks.RetireInstr(u.seq, false)
+			}
+			if c.hooks.Halted != nil {
+				c.hooks.Halted(c.nonMemSinceMemRetire)
+			}
+			return
+		default:
+			if u.state != uopDone {
+				return
+			}
+		}
+
+		if u.ins.WritesReg() {
+			c.archRegs[u.ins.Rd] = u.val
+		}
+		if u.ins.WritesReg() && c.regOwner[u.ins.Rd] == u {
+			c.regOwner[u.ins.Rd] = nil
+		}
+		c.rob = c.rob[1:]
+		if len(c.lsq) > 0 && c.lsq[0] == u {
+			c.lsq = c.lsq[1:]
+		}
+		if u.ins.Op != isa.ST {
+			delete(c.bySeq, u.seq)
+		}
+
+		c.Stats.Retired++
+		if c.hooks.RetireInstr != nil {
+			c.hooks.RetireInstr(u.seq, u.ins.IsMem())
+		}
+		if u.ins.IsMem() {
+			c.Stats.MemRetired++
+			c.nonMemSinceMemRetire = 0
+			switch {
+			case u.ins.IsAtomic():
+				c.Stats.AtomicsRetired++
+			case u.ins.Op == isa.LD:
+				c.Stats.LoadsRetired++
+			default:
+				c.Stats.StoresRetired++
+			}
+			if u.oooPerform && u.ins.Op == isa.LD {
+				c.Stats.OOOLoads++
+			}
+		} else {
+			c.nonMemSinceMemRetire++
+			if u.ins.IsBranch() {
+				c.Stats.BranchesRetired++
+			}
+		}
+	}
+}
+
+// fenceDone reports whether every memory op older than the fence has
+// performed. The fence is at the ROB head, so all older loads/atomics
+// have retired (hence performed); only write buffer entries remain.
+func (c *Core) fenceDone(u *uop) bool {
+	for _, e := range c.wb {
+		if e.u.seq < u.seq && !e.u.performed {
+			return false
+		}
+	}
+	return true
+}
+
+// issueMem issues loads, drains the write buffer, and launches
+// non-speculative head operations (RMW, IN), sharing the load/store
+// unit bandwidth.
+func (c *Core) issueMem() {
+	budget := c.cfg.LdStUnits
+	c.issueHeadOps(&budget)
+	c.issueLoads(&budget)
+	c.drainWB(&budget)
+}
+
+// issueHeadOps launches RMW and IN at the ROB head.
+func (c *Core) issueHeadOps(budget *int) {
+	if len(c.rob) == 0 || *budget == 0 {
+		return
+	}
+	u := c.rob[0]
+	switch {
+	case u.ins.IsAtomic() && u.state == uopWaiting && u.pendingSrc == 0:
+		// Atomics act as a full fence: wait for the write buffer.
+		if len(c.wb) > 0 {
+			return
+		}
+		u.addr = isa.EffAddr(u.ins, u.srcVal[0])
+		u.addrKnown = true
+		ins, rs2, rd := u.ins, u.srcVal[1], u.srcVal[2]
+		ok := c.mem.Submit(coherence.Request{
+			Core: c.id, ID: u.seq, Addr: u.addr, Kind: coherence.RMW,
+			Apply: func(old uint64) (uint64, bool) { return isa.AmoApply(ins, old, rs2, rd) },
+		})
+		if ok {
+			u.state = uopIssued
+			*budget--
+		}
+	case u.ins.Op == isa.IN && u.state == uopWaiting:
+		if c.inPos >= len(c.inputs) {
+			c.err = isa.ErrOutOfInput
+			return
+		}
+		v := c.inputs[c.inPos]
+		c.inPos++
+		u.state = uopIssued
+		u.doneAt = c.cycle + 1
+		u.val = v
+		c.executing = append(c.executing, u)
+	}
+}
+
+// issueLoads walks the LSQ in program order issuing ready loads,
+// enforcing the RC ordering rules.
+func (c *Core) issueLoads(budget *int) {
+	storeAddrUnknown := false
+	for _, u := range c.lsq {
+		if *budget == 0 {
+			return
+		}
+		ins := u.ins
+		switch {
+		case ins.Op == isa.FENCE:
+			if !c.lsqFenceDone(u) {
+				return // blocks all younger memory ops
+			}
+			continue
+		case ins.IsAtomic():
+			if !u.performed {
+				return // full-fence semantics
+			}
+			continue
+		case ins.Op == isa.ST:
+			// Opportunistic address generation so younger loads can
+			// disambiguate without waiting for the store data.
+			if !u.addrKnown && u.srcOwner[0] == nil {
+				u.addr = isa.EffAddr(ins, u.srcVal[0])
+				u.addrKnown = true
+			}
+			if !u.addrKnown {
+				storeAddrUnknown = true
+			}
+			continue
+		}
+		// Load.
+		acquire := ins.Flags&isa.FlagAcquire != 0
+		if u.state == uopWaiting && !u.performed {
+			c.tryIssueLoad(u, storeAddrUnknown, budget)
+		}
+		if acquire && !u.performed {
+			return // acquire blocks all younger memory ops
+		}
+		if c.cfg.Model != RC && !u.performed {
+			// TSO and SC bind loads in program order: nothing younger
+			// may issue past an unperformed load.
+			return
+		}
+	}
+}
+
+// tryIssueLoad attempts to bind or launch one waiting load.
+func (c *Core) tryIssueLoad(u *uop, storeAddrUnknown bool, budget *int) {
+	if u.srcOwner[0] != nil {
+		return // address operand not ready
+	}
+	if !u.addrKnown {
+		u.addr = isa.EffAddr(u.ins, u.srcVal[0])
+		u.addrKnown = true
+	}
+	if storeAddrUnknown {
+		return // conservative: an older store address is unknown
+	}
+	if c.cfg.Model == SC && c.olderMemPending(u.seq) {
+		return // SC: in-order perform of every memory operation
+	}
+	val, found, blocked := c.forwardSource(u)
+	if blocked {
+		return
+	}
+	if found {
+		// Store-to-load forwarding from the write buffer or an
+		// unretired older store.
+		c.Stats.Forwards++
+		u.forwarded = true
+		c.markPerformed(u, c.cycle)
+		u.state = uopIssued
+		u.doneAt = c.cycle + 1
+		u.val = val
+		c.executing = append(c.executing, u)
+		if c.hooks.LocalPerform != nil {
+			c.hooks.LocalPerform(u.seq, u.addr, val)
+		}
+		*budget--
+		return
+	}
+	if !c.mem.Submit(coherence.Request{Core: c.id, ID: u.seq, Addr: u.addr, Kind: coherence.Load}) {
+		*budget = 0 // MSHRs full; retry next cycle
+		return
+	}
+	u.state = uopIssued
+	*budget--
+}
+
+// lsqFenceDone reports whether a fence still inside the LSQ has all
+// older memory operations performed (including unretired ones).
+func (c *Core) lsqFenceDone(f *uop) bool {
+	for _, e := range c.wb {
+		if e.u.seq < f.seq && !e.u.performed {
+			return false
+		}
+	}
+	for _, u := range c.lsq {
+		if u.seq >= f.seq {
+			break
+		}
+		if u.isMem() && !u.performed {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardSource finds the youngest older store to the same address. It
+// returns (value, true, false) to forward, (0, false, true) if the
+// load must wait (matching store's data not ready, or an older
+// same-address load is still pending), and (0, false, false) to access
+// memory.
+func (c *Core) forwardSource(ld *uop) (val uint64, found, blocked bool) {
+	// Unretired stores and older loads, youngest first.
+	for i := len(c.lsq) - 1; i >= 0; i-- {
+		u := c.lsq[i]
+		if u.seq >= ld.seq {
+			continue
+		}
+		switch u.ins.Op {
+		case isa.ST:
+			if !u.addrKnown || u.addr != ld.addr {
+				continue
+			}
+			if u.srcOwner[1] == nil {
+				return u.srcVal[1], true, false // data ready: forward
+			}
+			return 0, false, true // same-address store, data pending
+		case isa.LD:
+			if u.addrKnown && u.addr == ld.addr && !u.performed {
+				return 0, false, true // same-address load order (coherence)
+			}
+		}
+	}
+	// Write buffer, youngest first.
+	for i := len(c.wb) - 1; i >= 0; i-- {
+		e := c.wb[i]
+		if e.u.seq < ld.seq && e.u.addr == ld.addr {
+			return e.u.val, true, false
+		}
+	}
+	return 0, false, false
+}
+
+// drainWB issues retired stores to memory. RC lets them complete out
+// of order; release stores wait until they are the only unperformed
+// memory operation.
+func (c *Core) drainWB(budget *int) {
+	// Sweep out stores whose perform event arrived.
+	kept := c.wb[:0]
+	for _, e := range c.wb {
+		if e.u.performed {
+			delete(c.bySeq, e.u.seq)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.wb = kept
+
+	for i, e := range c.wb {
+		if *budget == 0 {
+			return
+		}
+		if e.issued {
+			continue
+		}
+		u := e.u
+		if c.cfg.Model != RC && i != 0 {
+			// TSO/SC: the store buffer drains strictly FIFO, one
+			// outstanding store at a time.
+			return
+		}
+		if u.ins.Flags&isa.FlagRelease != 0 {
+			// All older stores must have performed (older loads have:
+			// they retired before this store did).
+			if i != 0 {
+				return
+			}
+		}
+		if c.cfg.Model == SC && c.olderMemPending(u.seq) {
+			return // SC: no store-load reordering either
+		}
+		// Same-address stores perform in program order.
+		blocked := false
+		for j := 0; j < i; j++ {
+			if c.wb[j].u.addr == u.addr && !c.wb[j].u.performed {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		if !c.mem.Submit(coherence.Request{
+			Core: c.id, ID: u.seq, Addr: u.addr, Kind: coherence.Store, StoreVal: u.val,
+		}) {
+			return
+		}
+		e.issued = true
+		*budget--
+	}
+}
+
+// issueALU starts execution of ready ALU-class uops.
+func (c *Core) issueALU() {
+	n := 0
+	for len(c.readyALU) > 0 && n < c.cfg.IssueWidth {
+		u := c.readyALU[0]
+		c.readyALU = c.readyALU[1:]
+		if u.squashed {
+			continue
+		}
+		lat := c.cfg.ALULat
+		if u.ins.Op == isa.MUL {
+			lat = c.cfg.MulLat
+		}
+		u.state = uopIssued
+		u.doneAt = c.cycle + lat
+		c.executing = append(c.executing, u)
+		n++
+	}
+}
+
+// dispatch brings up to IssueWidth instructions into the ROB along the
+// predicted path.
+func (c *Core) dispatch() {
+	if c.halted || c.haltSeq >= 0 || c.cycle < c.fetchStallUntil {
+		return
+	}
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if c.pc < 0 || c.pc >= len(c.prog.Code) {
+			return // off the end: wrong path, wait for squash
+		}
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.Stats.DispatchStallROB++
+			return
+		}
+		ins := c.prog.Code[c.pc]
+		if (ins.IsMem() || ins.Op == isa.FENCE) && len(c.lsq) >= c.cfg.LSQSize {
+			c.Stats.DispatchStallLSQ++
+			return
+		}
+		seq := c.nextSeq
+		if c.hooks.DispatchInstr != nil && !c.hooks.DispatchInstr(seq, ins) {
+			c.Stats.DispatchStallTRAQ++
+			return
+		}
+		c.nextSeq++
+		u := &uop{seq: seq, pc: c.pc, ins: ins}
+		c.captureSources(u)
+		if ins.WritesReg() {
+			c.regOwner[ins.Rd] = u
+		}
+		c.rob = append(c.rob, u)
+		c.bySeq[seq] = u
+
+		switch {
+		case ins.Op == isa.NOP:
+			u.state = uopDone
+			c.pc++
+		case ins.Op == isa.JMP:
+			u.state = uopDone
+			c.pc = int(ins.Imm)
+		case ins.Op == isa.HALT:
+			u.state = uopDone
+			c.haltSeq = int64(seq)
+			return
+		case ins.IsBranch():
+			u.predictedTaken = c.predictTaken(c.pc)
+			if u.predictedTaken {
+				c.pc = int(ins.Imm)
+			} else {
+				c.pc++
+			}
+			if u.pendingSrc == 0 {
+				c.pushReady(u)
+			}
+		case ins.IsMem() || ins.Op == isa.FENCE:
+			c.lsq = append(c.lsq, u)
+			if ins.Op == isa.LD && u.pendingSrc == 0 {
+				u.addr = isa.EffAddr(ins, u.srcVal[0])
+				u.addrKnown = true
+			}
+			if ins.Op == isa.ST && u.pendingSrc == 0 {
+				c.pushReady(u)
+			}
+			c.pc++
+		case ins.Op == isa.IN:
+			c.pc++
+		default: // ALU
+			if u.pendingSrc == 0 {
+				c.pushReady(u)
+			}
+			c.pc++
+		}
+	}
+}
+
+// captureSources resolves or subscribes to the uop's register sources.
+func (c *Core) captureSources(u *uop) {
+	add := func(idx int, r isa.Reg) {
+		owner := c.regOwner[r]
+		switch {
+		case r == 0 || owner == nil:
+			u.srcVal[idx] = c.archRegs[r]
+		case owner.state == uopDone:
+			u.srcVal[idx] = owner.val
+		default:
+			u.srcOwner[idx] = owner
+			owner.waiters = append(owner.waiters, u)
+			u.pendingSrc++
+		}
+	}
+	if u.ins.ReadsRs1() {
+		add(0, u.ins.Rs1)
+	}
+	if u.ins.ReadsRs2() {
+		add(1, u.ins.Rs2)
+	}
+	if u.ins.ReadsRd() {
+		add(2, u.ins.Rd)
+	}
+}
+
+// String summarizes the core state for debugging.
+func (c *Core) String() string {
+	return fmt.Sprintf("core %d pc=%d rob=%d lsq=%d wb=%d halted=%v",
+		c.id, c.pc, len(c.rob), len(c.lsq), len(c.wb), c.halted)
+}

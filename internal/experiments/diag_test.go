@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"relaxreplay/internal/core"
+)
+
+// TestDiagnostics prints recorder internals per app (not an assertion
+// test; opt in with RR_DIAG=1 and -v to inspect).
+func TestDiagnostics(t *testing.T) {
+	if os.Getenv("RR_DIAG") == "" {
+		t.Skip("diagnostic only; set RR_DIAG=1 to run")
+	}
+	s := NewSuite(DefaultOptions())
+	for _, app := range s.Apps() {
+		run, err := s.Record(app, core.Opt, INF, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rs core.Stats
+		for _, st := range run.Res.RecStats {
+			rs.ConflictTerminations += st.ConflictTerminations
+			rs.SizeTerminations += st.SizeTerminations
+			rs.OptMoves += st.OptMoves
+			rs.ReorderedLoads += st.ReorderedLoads + st.ReorderedStores + st.ReorderedAtomics
+			rs.PinnedReorders += st.PinnedReorders
+			rs.SnoopsObserved += st.SnoopsObserved
+			rs.MemCounted += st.MemCounted
+			rs.BaseSameInterval += st.BaseSameInterval
+		}
+		cross := rs.OptMoves + rs.ReorderedLoads + rs.PinnedReorders
+		fmt.Printf("%-10s cyc=%-8d mem=%-8d snoops/corecycle=%.4f  term(conf=%d) cross=%d moved=%d reord=%d pinned=%d saveRate=%.2f\n",
+			app, run.Res.Cycles, rs.MemCounted,
+			float64(rs.SnoopsObserved)/float64(run.Res.Cycles)/8,
+			rs.ConflictTerminations, cross, rs.OptMoves, rs.ReorderedLoads, rs.PinnedReorders,
+			float64(rs.OptMoves)/float64(max(cross, 1)))
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"relaxreplay/internal/core"
+)
+
+// smallSuite keeps experiment tests fast: 4 cores, a 3-app subset,
+// verification ON (every recording in these tests is replay-verified).
+func smallSuite() *Suite {
+	opts := DefaultOptions()
+	opts.Cores = 4
+	opts.Scale = 1
+	opts.Apps = []string{"fft", "volrend", "barnes"}
+	return NewSuite(opts)
+}
+
+func TestRunCaching(t *testing.T) {
+	s := smallSuite()
+	a, err := s.Record("fft", core.Opt, I4K, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Record("fft", core.Opt, I4K, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical runs not cached")
+	}
+	c, err := s.Record("fft", core.Base, I4K, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different configs shared a cache entry")
+	}
+}
+
+func TestUnknownAppFails(t *testing.T) {
+	s := smallSuite()
+	if _, err := s.Record("nope", core.Opt, I4K, 4); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestFigure1Invariants(t *testing.T) {
+	s := smallSuite()
+	rows, table, err := s.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 3 apps + average
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OOOLoads < 0 || r.OOOLoads > 1 || r.OOOStores < 0 || r.OOOStores > 1 {
+			t.Fatalf("fraction out of range: %+v", r)
+		}
+	}
+	if rows[len(rows)-1].App != "average" {
+		t.Fatal("missing average row")
+	}
+	if !strings.Contains(table.String(), "Figure 1") {
+		t.Fatal("table title missing")
+	}
+}
+
+func TestFigure9Invariants(t *testing.T) {
+	s := smallSuite()
+	rows, _, err := s.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's headline shape: Opt never logs more reordered
+		// accesses than Base at the same interval size, and larger
+		// intervals never increase Base's reordered fraction.
+		if r.Opt4K > r.Base4K+1e-9 {
+			t.Fatalf("%s: Opt4K %.4f > Base4K %.4f", r.App, r.Opt4K, r.Base4K)
+		}
+		if r.OptINF > r.BaseINF+1e-9 {
+			t.Fatalf("%s: OptINF > BaseINF", r.App)
+		}
+		if r.BaseINF > r.Base4K+1e-9 {
+			t.Fatalf("%s: BaseINF %.4f > Base4K %.4f", r.App, r.BaseINF, r.Base4K)
+		}
+	}
+}
+
+func TestFigure10And11Invariants(t *testing.T) {
+	s := smallSuite()
+	rows10, _, err := s.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows10[:len(rows10)-1] {
+		if r.Opt4K > r.Base4K || r.OptINF > r.BaseINF {
+			t.Fatalf("%s: Opt produced more InorderBlocks than Base", r.App)
+		}
+	}
+	rows11, _, err := s.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows11[:len(rows11)-1] {
+		if r.Opt4KBits > r.Base4KBits+1e-9 || r.OptINFBits > r.BaseINFBits+1e-9 {
+			t.Fatalf("%s: Opt log larger than Base log", r.App)
+		}
+		if r.Opt4KMBps <= 0 {
+			t.Fatalf("%s: nonpositive log rate", r.App)
+		}
+	}
+}
+
+func TestFigure12Invariants(t *testing.T) {
+	s := smallSuite()
+	rows, _, err := s.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Average < 0 || r.Average > 176 {
+			t.Fatalf("%s: occupancy %f out of range", r.App, r.Average)
+		}
+		var sum float64
+		for _, f := range r.Histogram {
+			sum += f
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s: histogram sums to %f", r.App, sum)
+		}
+	}
+	if _, err := s.Figure12Histograms([]string{"fft"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure13Invariants(t *testing.T) {
+	s := smallSuite()
+	rows, _, err := s.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NormTotal <= 1 {
+			t.Fatalf("%s %v/%v: sequential replay faster than parallel recording (%.2fx)",
+				r.App, r.Variant, r.Mode, r.NormTotal)
+		}
+		if diff := r.NormTotal - (r.NormUser + r.NormOS); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("%s: user+OS != total", r.App)
+		}
+	}
+}
+
+func TestFigure14Invariants(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = 1
+	opts.Apps = []string{"volrend"}
+	s := NewSuite(opts)
+	rows, _, err := s.Figure14([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 configs x 2 core counts
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LogMBps <= 0 {
+			t.Fatalf("nonpositive log rate: %+v", r)
+		}
+	}
+}
+
+func TestTable1Mentions(t *testing.T) {
+	s := smallSuite()
+	out := s.Table1().String()
+	for _, want := range []string{"176", "MESI", "Bloom", "snoop table", "64KB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSection53Overhead(t *testing.T) {
+	s := smallSuite()
+	rows, _, err := s.Section53RecordingOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Paper §5.3: recording overhead is negligible (TRAQ stalls
+		// under 0.3% of execution). Allow a little slack.
+		if r.OverheadPct > 0.02 {
+			t.Fatalf("%s: recording overhead %.2f%% not negligible", r.App, r.OverheadPct*100)
+		}
+		if r.TRAQStallPct > 0.02 {
+			t.Fatalf("%s: TRAQ stall fraction %.2f%%", r.App, r.TRAQStallPct*100)
+		}
+	}
+}
+
+func TestMotivationSCRecorderDiverges(t *testing.T) {
+	s := smallSuite()
+	rows, _, err := s.MotivationSCRecorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := 0
+	for _, r := range rows {
+		if r.Diverged {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("SC-assuming recorder replayed RC executions faithfully — motivation demo broken")
+	}
+}
+
+func TestExtensionParallelReplay(t *testing.T) {
+	s := smallSuite()
+	rows, _, err := s.ExtensionParallelReplay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Speedup < 1-1e-9 || r.Speedup > float64(s.Options().Cores)+1e-9 {
+			t.Fatalf("%s/%v: speedup %.2f out of range", r.App, r.Variant, r.Speedup)
+		}
+		if r.ParNorm > r.SeqNorm+1e-9 {
+			t.Fatalf("%s/%v: parallel slower than sequential", r.App, r.Variant)
+		}
+	}
+}

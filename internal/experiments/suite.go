@@ -1,0 +1,294 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5): one driver per figure, each returning both
+// structured data (consumed by the benchmarks and tests) and a
+// rendered table (printed by cmd/rrbench). Recording runs are cached
+// and shared across figures, and — unless disabled — every recording
+// is verified by patching, replaying and comparing against the
+// recorded execution, plus the workload's own correctness oracle.
+package experiments
+
+import (
+	"fmt"
+
+	"relaxreplay/internal/coherence"
+	"relaxreplay/internal/core"
+	"relaxreplay/internal/machine"
+	"relaxreplay/internal/replay"
+	"relaxreplay/internal/workload"
+)
+
+// Options configures a Suite.
+type Options struct {
+	Cores    int
+	Scale    int // workload problem-size multiplier
+	Protocol coherence.Protocol
+	Apps     []string // nil = all kernels
+	Verify   bool     // replay-verify every recording
+	ClockGHz float64  // for MB/s conversions (paper: 2 GHz)
+}
+
+// DefaultOptions mirrors the paper's default setup: 8 cores, snoopy
+// ring, all SPLASH-2 analog kernels, 2 GHz.
+func DefaultOptions() Options {
+	return Options{Cores: 8, Scale: 3, Verify: true, ClockGHz: 2.0}
+}
+
+// IntervalMode selects the paper's two maximum-interval-size settings.
+type IntervalMode bool
+
+const (
+	// I4K limits intervals to 4K instructions (replay-parallelism
+	// oriented recorders).
+	I4K IntervalMode = false
+	// INF leaves intervals unbounded (sequential-replay oriented
+	// recorders such as CoreRacer/QuickRec).
+	INF IntervalMode = true
+)
+
+func (m IntervalMode) String() string {
+	if m == INF {
+		return "INF"
+	}
+	return "4K"
+}
+
+// Run is one cached recording (plus its replay, once computed).
+type Run struct {
+	App     string
+	Variant core.Variant
+	Mode    IntervalMode
+	Cores   int
+
+	W   workload.Workload
+	Res *core.Result
+
+	rep *replay.Result
+}
+
+type runKey struct {
+	app     string
+	variant core.Variant
+	mode    IntervalMode
+	cores   int
+}
+
+// Suite caches recording runs across figures.
+type Suite struct {
+	opts  Options
+	cache map[runKey]*Run
+}
+
+// NewSuite builds a suite.
+func NewSuite(opts Options) *Suite {
+	if opts.Cores == 0 {
+		opts.Cores = 8
+	}
+	if opts.Scale == 0 {
+		opts.Scale = 3
+	}
+	if opts.ClockGHz == 0 {
+		opts.ClockGHz = 2.0
+	}
+	return &Suite{opts: opts, cache: make(map[runKey]*Run)}
+}
+
+// Apps returns the kernel names the suite runs.
+func (s *Suite) Apps() []string {
+	if s.opts.Apps != nil {
+		return s.opts.Apps
+	}
+	var names []string
+	for _, k := range workload.Kernels() {
+		names = append(names, k.Name)
+	}
+	return names
+}
+
+// Options returns the suite options.
+func (s *Suite) Options() Options { return s.opts }
+
+// Record returns the cached recording for (app, variant, mode, cores),
+// running it on first use.
+func (s *Suite) Record(app string, v core.Variant, mode IntervalMode, cores int) (*Run, error) {
+	key := runKey{app, v, mode, cores}
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	k, err := workload.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	w := k.Build(cores, s.opts.Scale)
+	rcfg := core.DefaultConfig(v)
+	if mode == INF {
+		rcfg.MaxIntervalInstrs = 0
+	}
+	mcfg := machine.DefaultConfig(cores)
+	mcfg.Mem.Protocol = s.opts.Protocol
+	res, err := core.Record(mcfg, rcfg, core.Workload{
+		Name: w.Name, Progs: w.Progs, Inputs: w.Inputs, InitMem: w.InitMem,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%v/%v: %w", app, v, mode, err)
+	}
+	run := &Run{App: app, Variant: v, Mode: mode, Cores: cores, W: w, Res: res}
+	if s.opts.Verify {
+		if w.Check != nil {
+			if err := w.Check(res.FinalMemory); err != nil {
+				return nil, fmt.Errorf("experiments: %s oracle: %w", app, err)
+			}
+		}
+		if _, err := s.Replay(run); err != nil {
+			return nil, err
+		}
+	}
+	s.cache[key] = run
+	return run, nil
+}
+
+// Replay patches, replays and verifies a recording, returning the
+// (cached) replay result with its modeled timing.
+func (s *Suite) Replay(run *Run) (*replay.Result, error) {
+	if run.rep != nil {
+		return run.rep, nil
+	}
+	patched, err := run.Res.Log.Patch()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: patch %s: %w", run.App, err)
+	}
+	cpi := make([]float64, run.Cores)
+	for c, st := range run.Res.CoreStats {
+		if st.Retired > 0 {
+			cpi[c] = float64(st.Cycles) / float64(st.Retired)
+		} else {
+			cpi[c] = 1
+		}
+	}
+	rp, err := replay.New(replay.DefaultConfig(), patched, run.W.Progs, run.W.InitMem, cpi)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := rp.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replay %s/%v/%v: %w", run.App, run.Variant, run.Mode, err)
+	}
+	retired := make([]uint64, run.Cores)
+	for c, st := range run.Res.CoreStats {
+		retired[c] = st.Retired
+	}
+	if err := replay.Verify(rep, run.Res.FinalMemory, run.Res.FinalRegs, retired); err != nil {
+		return nil, fmt.Errorf("experiments: %s/%v/%v: %w", run.App, run.Variant, run.Mode, err)
+	}
+	run.rep = rep
+	return rep, nil
+}
+
+// Aggregate metrics over a run --------------------------------------------
+
+// Instructions returns the total retired instruction count.
+func (r *Run) Instructions() uint64 {
+	var n uint64
+	for _, st := range r.Res.CoreStats {
+		n += st.Retired
+	}
+	return n
+}
+
+// MemInstructions returns the total retired memory instructions.
+func (r *Run) MemInstructions() uint64 {
+	var n uint64
+	for _, st := range r.Res.CoreStats {
+		n += st.MemRetired
+	}
+	return n
+}
+
+// ReorderedFraction returns reordered accesses / memory instructions.
+func (r *Run) ReorderedFraction() float64 {
+	var re uint64
+	for _, st := range r.Res.RecStats {
+		re += st.ReorderedLoads + st.ReorderedStores + st.ReorderedAtomics
+	}
+	m := r.MemInstructions()
+	if m == 0 {
+		return 0
+	}
+	return float64(re) / float64(m)
+}
+
+// OOOFractions returns the fraction of memory instructions performed
+// out of program order, split into loads and stores (Figure 1).
+func (r *Run) OOOFractions() (loads, stores float64) {
+	var l, st, m uint64
+	for _, cs := range r.Res.CoreStats {
+		l += cs.OOOLoads
+		st += cs.OOOStores
+		m += cs.MemRetired
+	}
+	if m == 0 {
+		return 0, 0
+	}
+	return float64(l) / float64(m), float64(st) / float64(m)
+}
+
+// InorderBlocks returns the total number of InorderBlock entries.
+func (r *Run) InorderBlocks() uint64 {
+	var n uint64
+	for _, st := range r.Res.RecStats {
+		n += st.InorderBlocks
+	}
+	return n
+}
+
+// BitsPer1K returns uncompressed log bits per 1000 instructions.
+func (r *Run) BitsPer1K() float64 {
+	n := r.Instructions()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Res.Log.SizeBits()) * 1000 / float64(n)
+}
+
+// LogRateMBps returns the logging bandwidth at the given clock.
+func (r *Run) LogRateMBps(clockGHz float64) float64 {
+	if r.Res.Cycles == 0 {
+		return 0
+	}
+	bytes := float64(r.Res.Log.SizeBits()) / 8
+	seconds := float64(r.Res.Cycles) / (clockGHz * 1e9)
+	return bytes / seconds / 1e6
+}
+
+// TRAQAverage returns the mean TRAQ occupancy across cores.
+func (r *Run) TRAQAverage() float64 {
+	var sum, samples uint64
+	for _, st := range r.Res.RecStats {
+		sum += st.TRAQOccupancySum
+		samples += st.TRAQSamples
+	}
+	if samples == 0 {
+		return 0
+	}
+	return float64(sum) / float64(samples)
+}
+
+// TRAQHistogram returns the occupancy distribution (bins of 10
+// entries) as fractions of all samples.
+func (r *Run) TRAQHistogram() []float64 {
+	var hist [20]uint64
+	var total uint64
+	for _, st := range r.Res.RecStats {
+		for i, v := range st.TRAQOccupancyHist {
+			hist[i] += v
+			total += v
+		}
+	}
+	out := make([]float64, len(hist))
+	if total == 0 {
+		return out
+	}
+	for i, v := range hist {
+		out[i] = float64(v) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// run ticks the ring until idle (or the bound is hit), collecting deliveries.
+func run(t *testing.T, r *Ring, bound int) []Delivery {
+	t.Helper()
+	var all []Delivery
+	for i := 0; i < bound; i++ {
+		all = append(all, r.Tick()...)
+		if !r.Busy() {
+			return all
+		}
+	}
+	t.Fatalf("ring still busy after %d ticks", bound)
+	return nil
+}
+
+func TestPointToPointLatency(t *testing.T) {
+	r := New(4)
+	r.Send(Message{Src: 0, Dst: 2, Payload: "x"})
+	// Injected on tick 1 (slot free), arrives after 2 hops: tick 3.
+	var arrival int
+	for tick := 1; tick <= 10; tick++ {
+		ds := r.Tick()
+		if len(ds) > 0 {
+			arrival = tick
+			if !ds[0].Final || ds[0].Node != 2 || ds[0].Msg.Payload != "x" {
+				t.Fatalf("bad delivery %+v", ds[0])
+			}
+			break
+		}
+	}
+	if arrival != 3 {
+		t.Fatalf("arrival tick = %d, want 3 (inject + 2 hops)", arrival)
+	}
+}
+
+func TestVisitMessageSeenByAllAndReturns(t *testing.T) {
+	const n = 5
+	r := New(n)
+	r.Send(Message{Src: 1, Dst: 1, Visit: true, Payload: 7})
+	ds := run(t, r, 50)
+	if len(ds) != n {
+		t.Fatalf("deliveries = %d, want %d", len(ds), n)
+	}
+	seen := map[int]bool{}
+	for i, d := range ds {
+		seen[d.Node] = true
+		final := i == len(ds)-1
+		if d.Final != final {
+			t.Fatalf("delivery %d Final=%v", i, d.Final)
+		}
+	}
+	for node := 0; node < n; node++ {
+		if !seen[node] {
+			t.Fatalf("node %d never saw the snoop", node)
+		}
+	}
+	if ds[len(ds)-1].Node != 1 {
+		t.Fatalf("snoop returned to %d, want 1", ds[len(ds)-1].Node)
+	}
+}
+
+func TestNoOvertaking(t *testing.T) {
+	// Two messages injected at the same node in order must arrive in order.
+	r := New(6)
+	r.Send(Message{Src: 0, Dst: 3, Payload: 1})
+	r.Send(Message{Src: 0, Dst: 3, Payload: 2})
+	ds := run(t, r, 50)
+	if len(ds) != 2 || ds[0].Msg.Payload != 1 || ds[1].Msg.Payload != 2 {
+		t.Fatalf("messages reordered: %+v", ds)
+	}
+}
+
+func TestInjectionBlocksWhenSlotBusy(t *testing.T) {
+	// A message circling past a node delays that node's injection.
+	r := New(3)
+	r.Send(Message{Src: 0, Dst: 0, Visit: true, Payload: "snoop"})
+	r.Tick() // snoop injected at 0
+	r.Send(Message{Src: 1, Dst: 2, Payload: "p2p"})
+	// Tick: snoop moves to node 1 and occupies its slot, so node 1
+	// cannot inject this cycle.
+	ds := r.Tick()
+	if len(ds) != 1 || ds[0].Node != 1 || ds[0].Final {
+		t.Fatalf("expected passing snoop at node 1, got %+v", ds)
+	}
+	if r.Injected != 1 {
+		t.Fatalf("p2p should still be queued, injected=%d", r.Injected)
+	}
+	run(t, r, 20)
+	if r.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", r.Delivered)
+	}
+}
+
+func TestManyMessagesAllDelivered(t *testing.T) {
+	const n = 9
+	r := New(n)
+	sent := 0
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			r.Send(Message{Src: src, Dst: dst, Payload: src*100 + dst})
+			sent++
+		}
+	}
+	ds := run(t, r, 10000)
+	finals := 0
+	for _, d := range ds {
+		if d.Final {
+			finals++
+			if d.Msg.Payload.(int)%100 != d.Node {
+				t.Fatalf("message delivered to wrong node: %+v", d)
+			}
+		}
+	}
+	if finals != sent {
+		t.Fatalf("finals = %d, want %d", finals, sent)
+	}
+}
+
+// Property: for any batch of point-to-point messages, every message is
+// delivered exactly once, at its destination.
+func TestDeliveryProperty(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		const n = 8
+		r := New(n)
+		want := 0
+		for i, p := range pairs {
+			if i >= 64 {
+				break
+			}
+			src, dst := int(p)%n, int(p/8)%n
+			if src == dst {
+				continue
+			}
+			r.Send(Message{Src: src, Dst: dst, Payload: i})
+			want++
+		}
+		got := 0
+		for i := 0; i < 5000 && r.Busy(); i++ {
+			for _, d := range r.Tick() {
+				if d.Final {
+					got++
+					if d.Node != d.Msg.Dst {
+						return false
+					}
+				}
+			}
+		}
+		return got == want && !r.Busy()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() []Delivery {
+		r := New(5)
+		r.Send(Message{Src: 0, Dst: 0, Visit: true, Payload: 1})
+		r.Send(Message{Src: 2, Dst: 4, Payload: 2})
+		r.Send(Message{Src: 3, Dst: 1, Payload: 3})
+		var all []Delivery
+		for i := 0; i < 30; i++ {
+			all = append(all, r.Tick()...)
+		}
+		return all
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad node id")
+		}
+	}()
+	New(3).Send(Message{Src: 0, Dst: 9})
+}
+
+func TestTooSmallRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1)
+}

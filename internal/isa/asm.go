@@ -1,0 +1,337 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse assembles a textual program into a Program. The syntax is one
+// instruction or label per line:
+//
+//	; comments run to end of line (also # and //)
+//	start:                      ; a label
+//	    li      r10, 0x100
+//	    ld      r3, 8(r10)      ; r3 = M[r10+8]
+//	    ld.acq  r4, 0(r10)      ; acquire load
+//	    st      r3, 0(r10)      ; M[r10+0] = r3
+//	    st.rel  r3, 0(r10)      ; release store
+//	    add     r5, r3, r4
+//	    addi    r5, r5, -1
+//	    amoadd  r6, r4, 0(r10)  ; r6 = old; M += r4
+//	    amoswap r6, r4, 0(r10)
+//	    cas     r6, r4, 0(r10)  ; if old == r6 then M = r4; r6 = old
+//	    fence
+//	    beq     r3, r0, start
+//	    jmp     start
+//	    in      r7
+//	    halt
+//
+// Atomics accept .acq/.rel suffixes like loads and stores. Immediates
+// are decimal or 0x-hexadecimal, possibly negative.
+func Parse(name, source string) (Program, error) {
+	b := NewBuilder(name)
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line, err := parseLine(b, raw)
+		if err != nil {
+			return Program{}, fmt.Errorf("%s:%d: %w (in %q)", name, lineNo+1, err, strings.TrimSpace(raw))
+		}
+		_ = line
+	}
+	return b.Build()
+}
+
+// MustParse is Parse that panics on error, for static programs.
+func MustParse(name, source string) Program {
+	p, err := Parse(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseLine(b *Builder, raw string) (bool, error) {
+	line := raw
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(line, marker); i >= 0 {
+			line = line[:i]
+		}
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return false, nil
+	}
+	// Labels (possibly followed by an instruction on the same line).
+	if i := strings.Index(line, ":"); i >= 0 {
+		label := strings.TrimSpace(line[:i])
+		if !validLabel(label) {
+			return false, fmt.Errorf("invalid label %q", label)
+		}
+		b.Label(label)
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return true, nil
+		}
+	}
+
+	fields := strings.Fields(line)
+	mnemonic := strings.ToLower(fields[0])
+	operands := splitOperands(strings.TrimSpace(strings.TrimPrefix(line, fields[0])))
+
+	op := mnemonic
+	var flags Flags
+	for _, suffix := range strings.Split(mnemonic, ".")[1:] {
+		switch suffix {
+		case "acq":
+			flags |= FlagAcquire
+		case "rel":
+			flags |= FlagRelease
+		default:
+			return false, fmt.Errorf("unknown suffix %q", suffix)
+		}
+	}
+	op = strings.Split(mnemonic, ".")[0]
+	return true, emit(b, op, flags, operands)
+}
+
+func emit(b *Builder, op string, flags Flags, args []string) error {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case "nop":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Nop()
+	case "fence":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Fence()
+	case "halt":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Halt()
+	case "in":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.In(rd)
+	case "jmp":
+		if err := need(1); err != nil {
+			return err
+		}
+		if !validLabel(args[0]) {
+			return fmt.Errorf("invalid jump target %q", args[0])
+		}
+		b.Jmp(args[0])
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		b.Li(rd, imm)
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Mov(rd, rs)
+	case "add", "sub", "mul", "and", "or", "xor", "sll", "srl", "slt", "sltu":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, rs1, rs2, err := parse3Regs(args)
+		if err != nil {
+			return err
+		}
+		ops := map[string]Op{"add": ADD, "sub": SUB, "mul": MUL, "and": AND,
+			"or": OR, "xor": XOR, "sll": SLL, "srl": SRL, "slt": SLT, "sltu": SLTU}
+		b.emit(Instr{Op: ops[op], Rd: rd, Rs1: rs1, Rs2: rs2})
+	case "addi", "andi", "ori", "xori", "slli", "srli", "slti":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		ops := map[string]Op{"addi": ADDI, "andi": ANDI, "ori": ORI,
+			"xori": XORI, "slli": SLLI, "srli": SRLI, "slti": SLTI}
+		b.emit(Instr{Op: ops[op], Rd: rd, Rs1: rs1, Imm: imm})
+	case "ld":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Instr{Op: LD, Rd: rd, Rs1: base, Imm: off, Flags: flags})
+	case "st":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Instr{Op: ST, Rs2: rs2, Rs1: base, Imm: off, Flags: flags})
+	case "amoadd", "amoswap", "cas":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(args[2])
+		if err != nil {
+			return err
+		}
+		ops := map[string]Op{"amoadd": AMOADD, "amoswap": AMOSWAP, "cas": CAS}
+		b.emit(Instr{Op: ops[op], Rd: rd, Rs2: rs2, Rs1: base, Imm: off, Flags: flags})
+	case "beq", "bne", "blt", "bge":
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if !validLabel(args[2]) {
+			return fmt.Errorf("invalid branch target %q", args[2])
+		}
+		ops := map[string]Op{"beq": BEQ, "bne": BNE, "blt": BLT, "bge": BGE}
+		b.emitBranch(ops[op], rs1, rs2, args[2])
+	default:
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+	if flags != 0 {
+		switch op {
+		case "ld", "st", "amoadd", "amoswap", "cas":
+		default:
+			return fmt.Errorf("%s does not take .acq/.rel", op)
+		}
+	}
+	return nil
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (Reg, error) {
+	if !strings.HasPrefix(strings.ToLower(s), "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parse3Regs(args []string) (rd, rs1, rs2 Reg, err error) {
+	if rd, err = parseReg(args[0]); err != nil {
+		return
+	}
+	if rs1, err = parseReg(args[1]); err != nil {
+		return
+	}
+	rs2, err = parseReg(args[2])
+	return
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "off(rN)".
+func parseMem(s string) (off int64, base Reg, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected off(reg), got %q", s)
+	}
+	if open > 0 {
+		if off, err = parseImm(s[:open]); err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err = parseReg(s[open+1 : len(s)-1])
+	return off, base, err
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == '.', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTripsBuilder(t *testing.T) {
+	src := `
+; sum 1..10 into r3
+        li   r1, 1
+        li   r2, 11
+        li   r3, 0
+loop:   add  r3, r3, r1
+        addi r1, r1, 1
+        bne  r1, r2, loop
+        halt
+`
+	p, err := Parse("sum", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := &Thread{Prog: p}
+	if err := th.Run(NewFlatMemory(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if th.Regs[3] != 55 {
+		t.Fatalf("sum = %d", th.Regs[3])
+	}
+}
+
+func TestParseAllForms(t *testing.T) {
+	src := `
+start:
+    nop
+    li      r10, 0x100
+    mov     r11, r10
+    ld      r3, 8(r10)
+    ld.acq  r4, 0(r10)
+    st      r3, 16(r10)
+    st.rel  r3, 24(r10)
+    add     r5, r3, r4
+    sub     r5, r5, r4
+    mul     r5, r5, r4
+    and     r5, r5, r4
+    or      r5, r5, r4
+    xor     r5, r5, r4
+    sll     r5, r5, r4
+    srl     r5, r5, r4
+    slt     r5, r5, r4
+    sltu    r5, r5, r4
+    addi    r5, r5, -1
+    andi    r5, r5, 0xF
+    ori     r5, r5, 1
+    xori    r5, r5, 2
+    slli    r5, r5, 3
+    srli    r5, r5, 3
+    slti    r5, r5, 10
+    amoadd  r6, r4, 0(r10)
+    amoswap.acq r6, r4, 0(r10)
+    cas.acq.rel r6, r4, 0(r10)
+    fence
+    in      r7
+    beq     r3, r0, end
+    bne     r3, r0, end
+    blt     r3, r0, end
+    bge     r3, r0, end
+    jmp     end
+end: halt   ; label with instruction on same line
+`
+	p, err := Parse("forms", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 35 {
+		t.Fatalf("instructions = %d", len(p.Code))
+	}
+	// Spot-check flags and addressing.
+	find := func(op Op) Instr {
+		for _, ins := range p.Code {
+			if ins.Op == op {
+				return ins
+			}
+		}
+		t.Fatalf("no %v emitted", op)
+		return Instr{}
+	}
+	if ld := p.Code[3]; ld.Op != LD || ld.Imm != 8 || ld.Rs1 != 10 || ld.Rd != 3 {
+		t.Fatalf("ld = %+v", ld)
+	}
+	if acq := p.Code[4]; acq.Flags != FlagAcquire {
+		t.Fatalf("ld.acq flags = %v", acq.Flags)
+	}
+	if rel := p.Code[6]; rel.Flags != FlagRelease || rel.Op != ST {
+		t.Fatalf("st.rel = %+v", rel)
+	}
+	if cas := find(CAS); cas.Flags != FlagAcquire|FlagRelease {
+		t.Fatalf("cas flags = %v", cas.Flags)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "frobnicate r1",
+		"bad register":     "li rx, 5",
+		"reg out of range": "li r32, 5",
+		"bad immediate":    "li r1, banana",
+		"operand count":    "add r1, r2",
+		"bad mem operand":  "ld r1, r2",
+		"bad suffix":       "ld.wat r1, 0(r2)",
+		"flags on alu":     "add.acq r1, r2, r3",
+		"bad label char":   "bad!label: nop",
+		"undefined target": "jmp nowhere",
+		"bad jump target":  "jmp no where",
+	}
+	for what, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("%s: %q accepted", what, src)
+		}
+	}
+}
+
+func TestParseErrorsIncludeLineNumbers(t *testing.T) {
+	_, err := Parse("lined", "nop\nnop\nbogus r1\n")
+	if err == nil || !strings.Contains(err.Error(), "lined:3") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseCommentStyles(t *testing.T) {
+	p, err := Parse("comments", `
+nop ; semicolon
+nop # hash
+nop // slashes
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 4 {
+		t.Fatalf("instructions = %d", len(p.Code))
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("bad", "bogus")
+}
+
+// Property-ish: String() output of supported instructions reparses to
+// the same instruction (for the subset whose String form is assembly).
+func TestDisasmReassembles(t *testing.T) {
+	b := NewBuilder("x")
+	b.Li(R(3), -5)
+	b.Addi(R(4), R(3), 7)
+	b.Ld(R(5), R(4), 16)
+	b.StRel(R(5), R(4), 24)
+	b.AmoAdd(R(6), R(5), R(4), 0, FlagAcquire|FlagRelease)
+	b.Fence()
+	b.Halt()
+	p := b.MustBuild()
+	for _, ins := range p.Code {
+		src := ins.String()
+		// Branches/jumps print absolute targets (@n), not labels; skip.
+		if strings.Contains(src, "@") {
+			continue
+		}
+		// amoadd prints "amoadd.acq.rel r6, r5, 0(r4)" — parseable.
+		q, err := Parse("re", src)
+		if err != nil {
+			t.Fatalf("%q does not reassemble: %v", src, err)
+		}
+		if len(q.Code) != 1 || q.Code[0] != ins {
+			t.Fatalf("%q reassembled to %+v, want %+v", src, q.Code[0], ins)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels. Branch and jump
+// targets reference labels that may be defined before or after use;
+// Build resolves them to absolute instruction indexes.
+//
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	name   string
+	code   []Instr
+	labels map[string]int
+	fixups []fixup
+	err    error
+}
+
+type fixup struct {
+	at    int // instruction index whose Imm needs the label's address
+	label string
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Label defines a label at the current position. Redefinition is an error.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("label %q redefined", name)
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("isa: %s", fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) emit(i Instr) *Builder {
+	b.code = append(b.code, i)
+	return b
+}
+
+func (b *Builder) emitBranch(op Op, rs1, rs2 Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	return b.emit(Instr{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: NOP}) }
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: ADD, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: SUB, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: MUL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: AND, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OR, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: XOR, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Sll emits rd = rs1 << rs2.
+func (b *Builder) Sll(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: SLL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Srl emits rd = rs1 >> rs2.
+func (b *Builder) Srl(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: SRL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Slt emits rd = (rs1 < rs2) signed.
+func (b *Builder) Slt(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: SLT, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Sltu emits rd = (rs1 < rs2) unsigned.
+func (b *Builder) Sltu(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: SLTU, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: ADDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Andi emits rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: ANDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ori emits rd = rs1 | imm.
+func (b *Builder) Ori(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: ORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Xori emits rd = rs1 ^ imm.
+func (b *Builder) Xori(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: XORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Slli emits rd = rs1 << imm.
+func (b *Builder) Slli(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: SLLI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Srli emits rd = rs1 >> imm.
+func (b *Builder) Srli(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: SRLI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Slti emits rd = (rs1 < imm) signed.
+func (b *Builder) Slti(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: SLTI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Li emits rd = imm.
+func (b *Builder) Li(rd Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: LI, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd = rs.
+func (b *Builder) Mov(rd, rs Reg) *Builder { return b.Addi(rd, rs, 0) }
+
+// Ld emits rd = M[rs1+off].
+func (b *Builder) Ld(rd, rs1 Reg, off int64) *Builder {
+	return b.emit(Instr{Op: LD, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// LdAcq emits an acquire load.
+func (b *Builder) LdAcq(rd, rs1 Reg, off int64) *Builder {
+	return b.emit(Instr{Op: LD, Rd: rd, Rs1: rs1, Imm: off, Flags: FlagAcquire})
+}
+
+// St emits M[rs1+off] = rs2.
+func (b *Builder) St(rs2, rs1 Reg, off int64) *Builder {
+	return b.emit(Instr{Op: ST, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// StRel emits a release store.
+func (b *Builder) StRel(rs2, rs1 Reg, off int64) *Builder {
+	return b.emit(Instr{Op: ST, Rs1: rs1, Rs2: rs2, Imm: off, Flags: FlagRelease})
+}
+
+// AmoAdd emits rd = M[rs1+off]; M[rs1+off] += rs2.
+func (b *Builder) AmoAdd(rd, rs2, rs1 Reg, off int64, flags Flags) *Builder {
+	return b.emit(Instr{Op: AMOADD, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: off, Flags: flags})
+}
+
+// AmoSwap emits rd = M[rs1+off]; M[rs1+off] = rs2.
+func (b *Builder) AmoSwap(rd, rs2, rs1 Reg, off int64, flags Flags) *Builder {
+	return b.emit(Instr{Op: AMOSWAP, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: off, Flags: flags})
+}
+
+// Cas emits: if M[rs1+off] == rd then M[rs1+off] = rs2; rd = old value.
+func (b *Builder) Cas(rd, rs2, rs1 Reg, off int64, flags Flags) *Builder {
+	return b.emit(Instr{Op: CAS, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: off, Flags: flags})
+}
+
+// Fence emits a full memory fence.
+func (b *Builder) Fence() *Builder { return b.emit(Instr{Op: FENCE}) }
+
+// Beq emits a branch to label when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(BEQ, rs1, rs2, label)
+}
+
+// Bne emits a branch to label when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(BNE, rs1, rs2, label)
+}
+
+// Blt emits a branch to label when rs1 < rs2 (signed).
+func (b *Builder) Blt(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(BLT, rs1, rs2, label)
+}
+
+// Bge emits a branch to label when rs1 >= rs2 (signed).
+func (b *Builder) Bge(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(BGE, rs1, rs2, label)
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	return b.emit(Instr{Op: JMP})
+}
+
+// In emits rd = next external input value.
+func (b *Builder) In(rd Reg) *Builder { return b.emit(Instr{Op: IN, Rd: rd}) }
+
+// Halt emits a HALT.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: HALT}) }
+
+// Build resolves labels and returns the finished program.
+func (b *Builder) Build() (Program, error) {
+	if b.err != nil {
+		return Program{}, b.err
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return Program{}, fmt.Errorf("isa: undefined label %q", f.label)
+		}
+		b.code[f.at].Imm = int64(target)
+	}
+	code := make([]Instr, len(b.code))
+	copy(code, b.code)
+	return Program{Name: b.name, Code: code}, nil
+}
+
+// MustBuild is Build that panics on error; for tests and static kernels.
+func (b *Builder) MustBuild() Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,126 @@
+package isa
+
+import "fmt"
+
+// Memory is the data memory interface used by the functional
+// interpreter. Implementations must handle naturally-aligned 8-byte
+// words addressed by byte address.
+type Memory interface {
+	Load(addr uint64) uint64
+	Store(addr uint64, val uint64)
+}
+
+// Thread is the architectural state of one hardware thread, executed
+// functionally and in order. It is used as the golden reference model
+// in tests and as the "native execution" engine inside the replayer.
+type Thread struct {
+	Prog   Program
+	PC     int
+	Regs   [NumRegs]uint64
+	Inputs []uint64 // external input stream consumed by IN
+	InPos  int
+	Halted bool
+
+	// Instret counts retired instructions.
+	Instret uint64
+}
+
+// SetReg writes a register, preserving the R0-is-zero invariant.
+func (t *Thread) SetReg(r Reg, v uint64) {
+	if r != 0 {
+		t.Regs[r] = v
+	}
+}
+
+// ErrOutOfInput is returned by Step when IN runs past the input stream.
+var ErrOutOfInput = fmt.Errorf("isa: IN executed past end of input stream")
+
+// Step executes one instruction against mem. It returns an error on a
+// PC out of range or input exhaustion; a halted thread is a no-op.
+func (t *Thread) Step(mem Memory) error {
+	if t.Halted {
+		return nil
+	}
+	if t.PC < 0 || t.PC >= len(t.Prog.Code) {
+		return fmt.Errorf("isa: PC %d out of range [0,%d)", t.PC, len(t.Prog.Code))
+	}
+	ins := t.Prog.Code[t.PC]
+	next := t.PC + 1
+	switch {
+	case ins.Op == NOP || ins.Op == FENCE:
+		// No architectural effect in the in-order model.
+	case ins.Op == HALT:
+		t.Halted = true
+	case ins.Op == IN:
+		if t.InPos >= len(t.Inputs) {
+			return ErrOutOfInput
+		}
+		t.SetReg(ins.Rd, t.Inputs[t.InPos])
+		t.InPos++
+	case ins.Op == JMP:
+		next = int(ins.Imm)
+	case ins.IsBranch():
+		if BranchTaken(ins, t.Regs[ins.Rs1], t.Regs[ins.Rs2]) {
+			next = int(ins.Imm)
+		}
+	case ins.Op == LD:
+		t.SetReg(ins.Rd, mem.Load(EffAddr(ins, t.Regs[ins.Rs1])))
+	case ins.Op == ST:
+		mem.Store(EffAddr(ins, t.Regs[ins.Rs1]), t.Regs[ins.Rs2])
+	case ins.IsAtomic():
+		addr := EffAddr(ins, t.Regs[ins.Rs1])
+		old := mem.Load(addr)
+		newVal, write := AmoApply(ins, old, t.Regs[ins.Rs2], t.Regs[ins.Rd])
+		if write {
+			mem.Store(addr, newVal)
+		}
+		t.SetReg(ins.Rd, old)
+	default:
+		t.SetReg(ins.Rd, EvalALU(ins, t.Regs[ins.Rs1], t.Regs[ins.Rs2]))
+	}
+	t.PC = next
+	t.Instret++
+	return nil
+}
+
+// Run steps the thread until it halts or maxSteps is exceeded.
+func (t *Thread) Run(mem Memory, maxSteps uint64) error {
+	for !t.Halted {
+		if t.Instret >= maxSteps {
+			return fmt.Errorf("isa: thread %q exceeded %d steps", t.Prog.Name, maxSteps)
+		}
+		if err := t.Step(mem); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlatMemory is a simple word-granular memory backed by a map; the
+// zero value is ready to use. It is the reference memory for tests and
+// the replayer.
+type FlatMemory struct {
+	words map[uint64]uint64
+}
+
+// NewFlatMemory returns an empty FlatMemory.
+func NewFlatMemory() *FlatMemory { return &FlatMemory{words: make(map[uint64]uint64)} }
+
+// Load returns the word at addr (zero if never written).
+func (m *FlatMemory) Load(addr uint64) uint64 { return m.words[align(addr)] }
+
+// Store writes the word at addr.
+func (m *FlatMemory) Store(addr uint64, val uint64) { m.words[align(addr)] = val }
+
+// Snapshot returns a copy of all non-zero words.
+func (m *FlatMemory) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m.words))
+	for a, v := range m.words {
+		if v != 0 {
+			out[a] = v
+		}
+	}
+	return out
+}
+
+func align(addr uint64) uint64 { return addr &^ (WordSize - 1) }

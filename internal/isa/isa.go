@@ -1,0 +1,253 @@
+// Package isa defines the mini RISC instruction set executed by the
+// simulated multicore and by the deterministic replayer.
+//
+// The ISA is deliberately small but complete enough to express the
+// SPLASH-2-like kernels used in the paper's evaluation: 64-bit integer
+// ALU operations, 8-byte loads and stores with optional acquire/release
+// ordering flags, atomic read-modify-writes (AMOADD, AMOSWAP, CAS), a
+// full memory fence, conditional branches, an external-input
+// instruction, and HALT. Register R0 is hardwired to zero.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural integer registers per core.
+const NumRegs = 32
+
+// WordSize is the size in bytes of a memory access. All loads, stores
+// and atomics access one naturally-aligned 8-byte word.
+const WordSize = 8
+
+// Reg names an architectural register. R0 reads as zero and ignores writes.
+type Reg uint8
+
+// R returns the i'th register and panics if i is out of range. It keeps
+// kernel-building code terse.
+func R(i int) Reg {
+	if i < 0 || i >= NumRegs {
+		panic(fmt.Sprintf("isa: register %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The zero value is NOP so that a zeroed Instr is harmless.
+const (
+	NOP Op = iota
+
+	// ALU register-register.
+	ADD
+	SUB
+	MUL
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SLT // set-less-than, signed
+	SLTU
+
+	// ALU register-immediate (Imm is the second operand).
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SLTI
+	LI // Rd = Imm (full 64-bit immediate)
+
+	// Memory. LD: Rd = M[Rs1+Imm]. ST: M[Rs1+Imm] = Rs2.
+	LD
+	ST
+
+	// Atomics; address is Rs1+Imm; all are both a load and a store.
+	// AMOADD:  Rd = old; M[addr] = old + Rs2
+	// AMOSWAP: Rd = old; M[addr] = Rs2
+	// CAS:     if old == Rd then M[addr] = Rs2; Rd = old
+	AMOADD
+	AMOSWAP
+	CAS
+
+	// FENCE orders all earlier memory operations before all later ones.
+	FENCE
+
+	// Branches compare Rs1 with Rs2 and jump to the absolute
+	// instruction index in Imm when the condition holds.
+	BEQ
+	BNE
+	BLT // signed
+	BGE // signed
+
+	// JMP unconditionally jumps to the absolute instruction index in Imm.
+	JMP
+
+	// IN reads the next value from the core's external input stream
+	// into Rd. Inputs are a recorded source of nondeterminism.
+	IN
+
+	// HALT stops the hardware thread.
+	HALT
+
+	numOps
+)
+
+// Flags carry memory-ordering semantics on loads, stores and atomics.
+type Flags uint8
+
+const (
+	// FlagAcquire: no later memory operation may perform before this one.
+	FlagAcquire Flags = 1 << iota
+	// FlagRelease: this operation may not perform before all earlier ones.
+	FlagRelease
+)
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op    Op
+	Rd    Reg
+	Rs1   Reg
+	Rs2   Reg
+	Imm   int64
+	Flags Flags
+}
+
+// IsMem reports whether the instruction accesses memory (has an address).
+func (i Instr) IsMem() bool {
+	switch i.Op {
+	case LD, ST, AMOADD, AMOSWAP, CAS:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (i Instr) IsLoad() bool {
+	switch i.Op {
+	case LD, AMOADD, AMOSWAP, CAS:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction may write memory. CAS counts
+// as a store even though a failing compare writes nothing: it still
+// requires exclusive ownership of the line.
+func (i Instr) IsStore() bool {
+	switch i.Op {
+	case ST, AMOADD, AMOSWAP, CAS:
+		return true
+	}
+	return false
+}
+
+// IsAtomic reports whether the instruction is an atomic read-modify-write.
+func (i Instr) IsAtomic() bool {
+	switch i.Op {
+	case AMOADD, AMOSWAP, CAS:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Instr) IsBranch() bool {
+	switch i.Op {
+	case BEQ, BNE, BLT, BGE:
+		return true
+	}
+	return false
+}
+
+// WritesReg reports whether the instruction writes a destination register.
+func (i Instr) WritesReg() bool {
+	switch i.Op {
+	case ADD, SUB, MUL, AND, OR, XOR, SLL, SRL, SLT, SLTU,
+		ADDI, ANDI, ORI, XORI, SLLI, SRLI, SLTI, LI,
+		LD, AMOADD, AMOSWAP, CAS, IN:
+		return i.Rd != 0
+	}
+	return false
+}
+
+// ReadsRs1 reports whether Rs1 is a source operand.
+func (i Instr) ReadsRs1() bool {
+	switch i.Op {
+	case NOP, LI, JMP, IN, HALT, FENCE:
+		return false
+	}
+	return true
+}
+
+// ReadsRs2 reports whether Rs2 is a source operand.
+func (i Instr) ReadsRs2() bool {
+	switch i.Op {
+	case ADD, SUB, MUL, AND, OR, XOR, SLL, SRL, SLT, SLTU,
+		ST, AMOADD, AMOSWAP, CAS,
+		BEQ, BNE, BLT, BGE:
+		return true
+	}
+	return false
+}
+
+// ReadsRd reports whether the architectural Rd is also a source (CAS
+// uses Rd as the expected value).
+func (i Instr) ReadsRd() bool { return i.Op == CAS }
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", AND: "and", OR: "or",
+	XOR: "xor", SLL: "sll", SRL: "srl", SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLLI: "slli",
+	SRLI: "srli", SLTI: "slti", LI: "li", LD: "ld", ST: "st",
+	AMOADD: "amoadd", AMOSWAP: "amoswap", CAS: "cas", FENCE: "fence",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", JMP: "jmp",
+	IN: "in", HALT: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// String renders the instruction in a readable assembly-like form.
+func (i Instr) String() string {
+	flags := ""
+	if i.Flags&FlagAcquire != 0 {
+		flags += ".acq"
+	}
+	if i.Flags&FlagRelease != 0 {
+		flags += ".rel"
+	}
+	switch i.Op {
+	case NOP, FENCE, HALT:
+		return i.Op.String() + flags
+	case LI:
+		return fmt.Sprintf("li%s r%d, %d", flags, i.Rd, i.Imm)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SLTI:
+		return fmt.Sprintf("%s%s r%d, r%d, %d", i.Op, flags, i.Rd, i.Rs1, i.Imm)
+	case LD:
+		return fmt.Sprintf("ld%s r%d, %d(r%d)", flags, i.Rd, i.Imm, i.Rs1)
+	case ST:
+		return fmt.Sprintf("st%s r%d, %d(r%d)", flags, i.Rs2, i.Imm, i.Rs1)
+	case AMOADD, AMOSWAP, CAS:
+		return fmt.Sprintf("%s%s r%d, r%d, %d(r%d)", i.Op, flags, i.Rd, i.Rs2, i.Imm, i.Rs1)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s r%d, r%d, @%d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case JMP:
+		return fmt.Sprintf("jmp @%d", i.Imm)
+	case IN:
+		return fmt.Sprintf("in r%d", i.Rd)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+}
+
+// Program is a fully-resolved instruction sequence for one hardware thread.
+type Program struct {
+	Name string
+	Code []Instr
+}

@@ -1,0 +1,161 @@
+// Package machine assembles the simulated multicore: out-of-order
+// cores (package cpu) on top of the coherent memory hierarchy (package
+// coherence), advanced in lockstep on a single global cycle clock. The
+// global clock is also the globally-consistent timestamp source that
+// the QuickRec-style interval orderer uses (paper §4.1).
+package machine
+
+import (
+	"fmt"
+
+	"relaxreplay/internal/coherence"
+	"relaxreplay/internal/cpu"
+	"relaxreplay/internal/isa"
+)
+
+// Register conventions for programs started by the machine.
+const (
+	// RegCoreID is preloaded with the core's id.
+	RegCoreID = isa.Reg(1)
+	// RegNumCores is preloaded with the number of cores.
+	RegNumCores = isa.Reg(2)
+)
+
+// Config describes a machine.
+type Config struct {
+	Cores     int
+	CPU       cpu.Config
+	Mem       coherence.Config
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's Table 1 machine with the given
+// number of cores (the paper default is 8).
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:     cores,
+		CPU:       cpu.DefaultConfig(),
+		Mem:       coherence.DefaultConfig(cores),
+		MaxCycles: 500_000_000,
+	}
+}
+
+// Machine is one simulated multicore.
+type Machine struct {
+	cfg   Config
+	Sys   *coherence.System
+	Cores []*cpu.Core
+	cycle uint64
+
+	// PerformSink, when set, receives every memory-system perform
+	// event after the owning core has processed it. The memory race
+	// recorder uses it to stamp PISNs at the true perform time.
+	PerformSink func(ev coherence.PerformEvent)
+}
+
+// New builds a machine running progs[i] on core i. hookFor, which may
+// be nil, supplies the recorder's observation hooks for each core.
+func New(cfg Config, progs []isa.Program, hookFor func(core int) cpu.Hooks) *Machine {
+	if len(progs) != cfg.Cores {
+		panic(fmt.Sprintf("machine: %d programs for %d cores", len(progs), cfg.Cores))
+	}
+	cfg.Mem.Cores = cfg.Cores
+	m := &Machine{cfg: cfg, Sys: coherence.New(cfg.Mem)}
+	m.Sys.OnPerform = func(ev coherence.PerformEvent) {
+		// Synchronous routing preserves the true intra-cycle order of
+		// performs and snoops, which the recorder relies on.
+		m.Cores[ev.Core].HandlePerform(ev)
+		if m.PerformSink != nil {
+			m.PerformSink(ev)
+		}
+	}
+	m.Cores = make([]*cpu.Core, cfg.Cores)
+	for i := range m.Cores {
+		var hooks cpu.Hooks
+		if hookFor != nil {
+			hooks = hookFor(i)
+		}
+		m.Cores[i] = cpu.New(i, cfg.CPU, progs[i], m.Sys, hooks)
+		m.Cores[i].SetReg(RegCoreID, uint64(i))
+		m.Cores[i].SetReg(RegNumCores, uint64(cfg.Cores))
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cycle returns the current global cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// InitMemory preloads memory words before the run.
+func (m *Machine) InitMemory(words map[uint64]uint64) {
+	for a, v := range words {
+		m.Sys.InitWord(a, v)
+	}
+}
+
+// SetInputs provides core's external input stream (consumed by IN).
+func (m *Machine) SetInputs(core int, in []uint64) { m.Cores[core].SetInputs(in) }
+
+// Step advances the machine one cycle.
+func (m *Machine) Step() {
+	m.cycle++
+	m.Sys.Tick()
+	for _, ev := range m.Sys.DrainCompletions() {
+		m.Cores[ev.Core].HandleCompletion(ev)
+	}
+	for _, c := range m.Cores {
+		c.Tick(m.cycle)
+	}
+}
+
+// Done reports whether every core has halted and drained and the
+// memory system is idle.
+func (m *Machine) Done() bool {
+	for _, c := range m.Cores {
+		if !c.Quiesced() {
+			return false
+		}
+	}
+	return !m.Sys.Busy()
+}
+
+// Run steps the machine to completion. It fails on a core error (e.g.
+// input exhaustion) or when MaxCycles elapse without completion, which
+// almost always indicates a deadlocked workload (e.g. a spinlock never
+// released).
+func (m *Machine) Run() error {
+	for !m.Done() {
+		if m.cycle >= m.cfg.MaxCycles {
+			return fmt.Errorf("machine: exceeded %d cycles (deadlock?): %v", m.cfg.MaxCycles, m.describeCores())
+		}
+		m.Step()
+		for _, c := range m.Cores {
+			if err := c.Err(); err != nil {
+				return fmt.Errorf("machine: core %d: %w", c.ID(), err)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Machine) describeCores() []string {
+	out := make([]string, len(m.Cores))
+	for i, c := range m.Cores {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// FinalMemory returns the coherent memory image after Run.
+func (m *Machine) FinalMemory() map[uint64]uint64 { return m.Sys.FinalMemory() }
+
+// TotalRetired sums retired instructions over all cores.
+func (m *Machine) TotalRetired() uint64 {
+	var n uint64
+	for _, c := range m.Cores {
+		n += c.Stats.Retired
+	}
+	return n
+}

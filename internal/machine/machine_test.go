@@ -1,0 +1,488 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"relaxreplay/internal/cpu"
+	"relaxreplay/internal/isa"
+)
+
+// run builds and runs a machine over the given programs.
+func run(t *testing.T, progs []isa.Program, init map[uint64]uint64) *Machine {
+	t.Helper()
+	cfg := DefaultConfig(len(progs))
+	cfg.MaxCycles = 10_000_000
+	m := New(cfg, progs, nil)
+	m.InitMemory(init)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runReference executes prog on the in-order interpreter with the
+// machine's register conventions.
+func runReference(t *testing.T, prog isa.Program, init map[uint64]uint64, core, cores int) (*isa.Thread, *isa.FlatMemory) {
+	t.Helper()
+	mem := isa.NewFlatMemory()
+	for a, v := range init {
+		mem.Store(a, v)
+	}
+	th := &isa.Thread{Prog: prog}
+	th.SetReg(RegCoreID, uint64(core))
+	th.SetReg(RegNumCores, uint64(cores))
+	if err := th.Run(mem, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return th, mem
+}
+
+// expectMatch compares the OOO machine against the in-order reference
+// for a single-core program.
+func expectMatch(t *testing.T, prog isa.Program, init map[uint64]uint64) *Machine {
+	t.Helper()
+	m := run(t, []isa.Program{prog}, init)
+	th, mem := runReference(t, prog, init, 0, 1)
+	if got, want := m.Cores[0].ArchRegs(), th.Regs; got != want {
+		t.Fatalf("register mismatch:\n ooo: %v\n ref: %v", got, want)
+	}
+	gotMem := m.FinalMemory()
+	wantMem := mem.Snapshot()
+	if len(gotMem) != len(wantMem) {
+		t.Fatalf("memory mismatch:\n ooo: %v\n ref: %v", gotMem, wantMem)
+	}
+	for a, v := range wantMem {
+		if gotMem[a] != v {
+			t.Fatalf("mem[%#x] = %d, want %d", a, gotMem[a], v)
+		}
+	}
+	if got, want := m.Cores[0].Stats.Retired, th.Instret; got != want {
+		t.Fatalf("retired %d instructions, reference executed %d", got, want)
+	}
+	return m
+}
+
+func TestALULoop(t *testing.T) {
+	b := isa.NewBuilder("sum100")
+	b.Li(isa.R(3), 0).Li(isa.R(4), 1).Li(isa.R(5), 101)
+	b.Label("loop")
+	b.Add(isa.R(3), isa.R(3), isa.R(4))
+	b.Addi(isa.R(4), isa.R(4), 1)
+	b.Bne(isa.R(4), isa.R(5), "loop")
+	b.Halt()
+	expectMatch(t, b.MustBuild(), nil)
+}
+
+func TestLoadStoreSingleCore(t *testing.T) {
+	b := isa.NewBuilder("memops")
+	b.Li(isa.R(3), 0x1000)
+	b.Li(isa.R(4), 0).Li(isa.R(5), 16)
+	b.Label("loop")
+	b.Slli(isa.R(6), isa.R(4), 3)
+	b.Add(isa.R(6), isa.R(3), isa.R(6))
+	b.Mul(isa.R(7), isa.R(4), isa.R(4))
+	b.St(isa.R(7), isa.R(6), 0)
+	b.Ld(isa.R(8), isa.R(6), 0)
+	b.Add(isa.R(9), isa.R(9), isa.R(8))
+	b.Addi(isa.R(4), isa.R(4), 1)
+	b.Bne(isa.R(4), isa.R(5), "loop")
+	b.Halt()
+	expectMatch(t, b.MustBuild(), nil)
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// A store immediately followed by a load of the same address: the
+	// load must forward and still be architecturally correct.
+	b := isa.NewBuilder("fwd")
+	b.Li(isa.R(3), 0x2000)
+	b.Li(isa.R(4), 77)
+	b.St(isa.R(4), isa.R(3), 0)
+	b.Ld(isa.R(5), isa.R(3), 0)
+	b.Addi(isa.R(5), isa.R(5), 1)
+	b.St(isa.R(5), isa.R(3), 8)
+	b.Ld(isa.R(6), isa.R(3), 8)
+	b.Halt()
+	m := expectMatch(t, b.MustBuild(), nil)
+	if m.Cores[0].Stats.Forwards == 0 {
+		t.Fatal("expected store-to-load forwarding")
+	}
+}
+
+func TestBranchMispredicts(t *testing.T) {
+	// Data-dependent alternating branches defeat the 2-bit predictor.
+	b := isa.NewBuilder("zigzag")
+	b.Li(isa.R(3), 0)  // i
+	b.Li(isa.R(4), 64) // n
+	b.Li(isa.R(7), 0)  // acc
+	b.Label("loop")
+	b.Andi(isa.R(5), isa.R(3), 1)
+	b.Beq(isa.R(5), isa.R(0), "even")
+	b.Addi(isa.R(7), isa.R(7), 3)
+	b.Jmp("next")
+	b.Label("even")
+	b.Addi(isa.R(7), isa.R(7), 5)
+	b.Label("next")
+	b.Addi(isa.R(3), isa.R(3), 1)
+	b.Bne(isa.R(3), isa.R(4), "loop")
+	b.Halt()
+	m := expectMatch(t, b.MustBuild(), nil)
+	if m.Cores[0].Stats.Mispredicts == 0 {
+		t.Fatal("expected mispredicts from alternating branch")
+	}
+	if m.Cores[0].Stats.SquashedUops == 0 {
+		t.Fatal("expected wrong-path squashes")
+	}
+}
+
+func TestAtomicsAndFence(t *testing.T) {
+	b := isa.NewBuilder("atomics")
+	b.Li(isa.R(3), 0x3000)
+	b.Li(isa.R(4), 5)
+	b.AmoAdd(isa.R(5), isa.R(4), isa.R(3), 0, 0) // mem=5, r5=0
+	b.Fence()
+	b.AmoSwap(isa.R(6), isa.R(4), isa.R(3), 8, 0) // mem[8]=5, r6=0
+	b.Mov(isa.R(7), isa.R(0))
+	b.Cas(isa.R(7), isa.R(4), isa.R(3), 16, 0) // success: mem[16]=5
+	b.Li(isa.R(8), 9)
+	b.Cas(isa.R(8), isa.R(4), isa.R(3), 16, 0) // fail (mem=5 != 9): r8=5
+	b.Halt()
+	expectMatch(t, b.MustBuild(), nil)
+}
+
+func TestInputs(t *testing.T) {
+	b := isa.NewBuilder("in")
+	b.In(isa.R(3)).In(isa.R(4)).Add(isa.R(5), isa.R(3), isa.R(4)).Halt()
+	prog := b.MustBuild()
+	cfg := DefaultConfig(1)
+	m := New(cfg, []isa.Program{prog}, nil)
+	m.SetInputs(0, []uint64{30, 12})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cores[0].ArchRegs()[5]; got != 42 {
+		t.Fatalf("r5 = %d", got)
+	}
+}
+
+func TestInputExhaustion(t *testing.T) {
+	b := isa.NewBuilder("in2")
+	b.In(isa.R(3)).Halt()
+	m := New(DefaultConfig(1), []isa.Program{b.MustBuild()}, nil)
+	if err := m.Run(); err == nil {
+		t.Fatal("expected input exhaustion error")
+	}
+}
+
+// spinlockProgram increments a shared counter `iters` times under a
+// CAS spinlock. lockAddr and ctrAddr must be on different lines.
+func spinlockProgram(lockAddr, ctrAddr uint64, iters int64) isa.Program {
+	b := isa.NewBuilder("spinlock")
+	b.Li(isa.R(10), int64(lockAddr))
+	b.Li(isa.R(11), int64(ctrAddr))
+	b.Li(isa.R(3), 0) // i
+	b.Li(isa.R(4), iters)
+	b.Li(isa.R(5), 1) // lock value
+	b.Label("loop")
+	b.Label("acquire")
+	b.Mov(isa.R(6), isa.R(0)) // expected 0
+	b.Cas(isa.R(6), isa.R(5), isa.R(10), 0, isa.FlagAcquire)
+	b.Bne(isa.R(6), isa.R(0), "acquire")
+	// Critical section.
+	b.Ld(isa.R(7), isa.R(11), 0)
+	b.Addi(isa.R(7), isa.R(7), 1)
+	b.St(isa.R(7), isa.R(11), 0)
+	// Release.
+	b.StRel(isa.R(0), isa.R(10), 0)
+	b.Addi(isa.R(3), isa.R(3), 1)
+	b.Bne(isa.R(3), isa.R(4), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestSpinlockCounter(t *testing.T) {
+	const cores, iters = 4, 50
+	progs := make([]isa.Program, cores)
+	for i := range progs {
+		progs[i] = spinlockProgram(0x100, 0x200, iters)
+	}
+	m := run(t, progs, nil)
+	if got := m.FinalMemory()[0x200]; got != cores*iters {
+		t.Fatalf("counter = %d, want %d", got, cores*iters)
+	}
+	if got := m.FinalMemory()[0x100]; got != 0 {
+		t.Fatalf("lock left held: %d", got)
+	}
+}
+
+func TestMessagePassingAcquireRelease(t *testing.T) {
+	// Producer: data = 42; flag =rel 1.
+	p := isa.NewBuilder("producer")
+	p.Li(isa.R(3), 0x100) // flag
+	p.Li(isa.R(4), 0x200) // data
+	p.Li(isa.R(5), 42)
+	p.St(isa.R(5), isa.R(4), 0)
+	p.StRel(isa.R(6), isa.R(3), 8) // dummy release to exercise multiple WB entries
+	p.Li(isa.R(7), 1)
+	p.StRel(isa.R(7), isa.R(3), 0)
+	p.Halt()
+	// Consumer: spin on flag (acquire), then read data.
+	c := isa.NewBuilder("consumer")
+	c.Li(isa.R(3), 0x100)
+	c.Li(isa.R(4), 0x200)
+	c.Label("spin")
+	c.LdAcq(isa.R(5), isa.R(3), 0)
+	c.Beq(isa.R(5), isa.R(0), "spin")
+	c.Ld(isa.R(6), isa.R(4), 0)
+	c.St(isa.R(6), isa.R(4), 8) // publish result at 0x208
+	c.Halt()
+	m := run(t, []isa.Program{p.MustBuild(), c.MustBuild()}, nil)
+	if got := m.FinalMemory()[0x208]; got != 42 {
+		t.Fatalf("consumer read %d, want 42", got)
+	}
+}
+
+func TestStoreBufferingLitmusShowsRelaxation(t *testing.T) {
+	// Classic SB litmus: both cores store then load the other's
+	// location. Under RC with write buffers, both loads can (and with
+	// this timing, do) read 0 — an execution impossible under SC.
+	mk := func(mine, other uint64) isa.Program {
+		b := isa.NewBuilder("sb")
+		b.Li(isa.R(3), int64(mine))
+		b.Li(isa.R(4), int64(other))
+		b.Li(isa.R(5), 1)
+		b.St(isa.R(5), isa.R(3), 0)
+		b.Ld(isa.R(6), isa.R(4), 0)
+		b.St(isa.R(6), isa.R(3), 8) // publish what we read
+		b.Halt()
+		return b.MustBuild()
+	}
+	m := run(t, []isa.Program{mk(0x100, 0x200), mk(0x200, 0x100)}, nil)
+	r0 := m.FinalMemory()[0x108]
+	r1 := m.FinalMemory()[0x208]
+	if r0 != 0 || r1 != 0 {
+		t.Fatalf("expected both loads to bypass the stores (r0=%d r1=%d)", r0, r1)
+	}
+}
+
+func TestOOOPerformHappens(t *testing.T) {
+	// A cache-missing load followed by independent hitting loads: the
+	// later loads perform while the miss is pending.
+	b := isa.NewBuilder("ooo")
+	b.Li(isa.R(3), 0x1000)
+	b.Li(isa.R(4), 0x8000) // far line (cold miss)
+	for i := 0; i < 8; i++ {
+		b.Ld(isa.R(5), isa.R(3), int64(i*8)) // warm the near lines
+	}
+	b.Ld(isa.R(6), isa.R(4), 0) // cold miss
+	for i := 0; i < 8; i++ {
+		b.Ld(isa.R(7), isa.R(3), int64(i*8)) // these hit and perform early
+	}
+	b.Halt()
+	m := run(t, []isa.Program{b.MustBuild()}, nil)
+	if m.Cores[0].Stats.OOOLoads == 0 {
+		t.Fatal("expected out-of-order load performs")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	progs := []isa.Program{
+		spinlockProgram(0x100, 0x200, 20),
+		spinlockProgram(0x100, 0x200, 20),
+		spinlockProgram(0x100, 0x200, 20),
+	}
+	run1 := run(t, progs, nil)
+	run2 := run(t, progs, nil)
+	if run1.Cycle() != run2.Cycle() {
+		t.Fatalf("cycle counts differ: %d vs %d", run1.Cycle(), run2.Cycle())
+	}
+	for i := range run1.Cores {
+		if run1.Cores[i].Stats != run2.Cores[i].Stats {
+			t.Fatalf("core %d stats differ", i)
+		}
+	}
+}
+
+// randomProgram builds a random but guaranteed-terminating program:
+// straight-line ALU/memory blocks wrapped in bounded counted loops.
+func randomProgram(rng *rand.Rand, name string) isa.Program {
+	b := isa.NewBuilder(name)
+	b.Li(isa.R(20), 0x4000) // memory base
+	skipN := 0
+	regs := []isa.Reg{3, 4, 5, 6, 7, 8, 9}
+	for i, r := range regs {
+		b.Li(r, int64(rng.Intn(100)-50)*int64(i+1))
+	}
+	loops := rng.Intn(3) + 1
+	for l := 0; l < loops; l++ {
+		cnt := isa.R(21 + l)
+		label := name + "-loop" + string(rune('a'+l))
+		b.Li(cnt, int64(rng.Intn(6)+2))
+		b.Label(label)
+		body := rng.Intn(12) + 4
+		for i := 0; i < body; i++ {
+			rd := regs[rng.Intn(len(regs))]
+			rs1 := regs[rng.Intn(len(regs))]
+			rs2 := regs[rng.Intn(len(regs))]
+			switch rng.Intn(10) {
+			case 0, 1:
+				b.Add(rd, rs1, rs2)
+			case 2:
+				b.Sub(rd, rs1, rs2)
+			case 3:
+				b.Xor(rd, rs1, rs2)
+			case 4:
+				b.Mul(rd, rs1, rs2)
+			case 5:
+				b.Slti(rd, rs1, int64(rng.Intn(64)))
+			case 6, 7: // store then sometimes load
+				off := int64(rng.Intn(16)) * 8
+				b.St(rs1, isa.R(20), off)
+				if rng.Intn(2) == 0 {
+					b.Ld(rd, isa.R(20), off)
+				}
+			case 8:
+				off := int64(rng.Intn(16)) * 8
+				b.Ld(rd, isa.R(20), off)
+			case 9: // data-dependent skip
+				skipN++
+				skip := fmt.Sprintf("%s-skip%d", label, skipN)
+				b.Beq(rd, rs1, skip)
+				b.Addi(rd, rd, 1)
+				b.Label(skip)
+			}
+		}
+		b.Addi(cnt, cnt, -1)
+		b.Bne(cnt, isa.R(0), label)
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestDifferentialRandomPrograms checks the OOO core against the
+// in-order reference for many random single-core programs.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for s := 0; s < seeds; s++ {
+		rng := rand.New(rand.NewSource(int64(s) + 1))
+		prog := randomProgram(rng, "rand")
+		t.Run(prog.Name, func(t *testing.T) {
+			expectMatch(t, prog, nil)
+		})
+	}
+}
+
+// TestDifferentialRandomConfigs fuzzes machine configurations (cache
+// geometry, latencies, widths) against the in-order reference: the
+// architectural result must be invariant to microarchitecture.
+func TestDifferentialRandomConfigs(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for s := 0; s < seeds; s++ {
+		rng := rand.New(rand.NewSource(int64(s) + 777))
+		prog := randomProgram(rng, "cfgfuzz")
+		cfg := DefaultConfig(1)
+		cfg.MaxCycles = 10_000_000
+		cfg.CPU.ROBSize = []int{8, 32, 176}[rng.Intn(3)]
+		cfg.CPU.IssueWidth = 1 + rng.Intn(4)
+		cfg.CPU.LdStUnits = 1 + rng.Intn(2)
+		cfg.CPU.LSQSize = []int{4, 16, 128}[rng.Intn(3)]
+		cfg.CPU.WBSize = 1 + rng.Intn(16)
+		cfg.CPU.MispredictPenalty = uint64(rng.Intn(20))
+		cfg.CPU.MulLat = 1 + uint64(rng.Intn(5))
+		cfg.Mem.L1Sets = []int{1, 4, 512}[rng.Intn(3)]
+		cfg.Mem.L1Ways = 1 + rng.Intn(4)
+		cfg.Mem.L1MSHRs = 1 + rng.Intn(8)
+		cfg.Mem.L2Lat = uint64(rng.Intn(30))
+		cfg.Mem.MemLat = uint64(rng.Intn(300))
+		cfg.Mem.L2Capacity = 1 + rng.Intn(1000)
+
+		m := New(cfg, []isa.Program{prog}, nil)
+		if err := m.Run(); err != nil {
+			t.Fatalf("seed %d: %v (cfg %+v)", s, err, cfg.CPU)
+		}
+		th, mem := runReference(t, prog, nil, 0, 1)
+		if m.Cores[0].ArchRegs() != th.Regs {
+			t.Fatalf("seed %d: registers diverge under cfg %+v", s, cfg.CPU)
+		}
+		gotMem := m.FinalMemory()
+		for a, v := range mem.Snapshot() {
+			if gotMem[a] != v {
+				t.Fatalf("seed %d: mem[%#x] = %d, want %d", s, a, gotMem[a], v)
+			}
+		}
+	}
+}
+
+// TestMulticoreKernelUnderStressConfigs runs a lock-based workload on
+// deliberately tiny structures: correctness must be configuration-
+// independent even at 1-entry caches and single-issue cores.
+func TestMulticoreKernelUnderStressConfigs(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.MaxCycles = 30_000_000
+	cfg.CPU.ROBSize = 8
+	cfg.CPU.IssueWidth = 1
+	cfg.CPU.LSQSize = 4
+	cfg.CPU.WBSize = 1
+	cfg.Mem.L1Sets, cfg.Mem.L1Ways = 1, 1
+	cfg.Mem.L1MSHRs = 1
+	progs := []isa.Program{
+		spinlockProgram(0x100, 0x200, 15),
+		spinlockProgram(0x100, 0x200, 15),
+		spinlockProgram(0x100, 0x200, 15),
+	}
+	m := New(cfg, progs, nil)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FinalMemory()[0x200]; got != 45 {
+		t.Fatalf("counter = %d, want 45", got)
+	}
+}
+
+// TestDifferentialModels: the consistency model must not change
+// single-threaded architectural results.
+func TestDifferentialModels(t *testing.T) {
+	for s := 0; s < 8; s++ {
+		rng := rand.New(rand.NewSource(int64(s) + 4242))
+		prog := randomProgram(rng, "modelfuzz")
+		for _, model := range []cpu.MemModel{cpu.RC, cpu.TSO, cpu.SC} {
+			cfg := DefaultConfig(1)
+			cfg.CPU.Model = model
+			m := New(cfg, []isa.Program{prog}, nil)
+			if err := m.Run(); err != nil {
+				t.Fatalf("seed %d %v: %v", s, model, err)
+			}
+			th, _ := runReference(t, prog, nil, 0, 1)
+			if m.Cores[0].ArchRegs() != th.Regs {
+				t.Fatalf("seed %d: %v diverges from reference", s, model)
+			}
+		}
+	}
+}
+
+// TestKernelsUnderTSOAndSC: multicore kernels keep their oracles under
+// stricter models.
+func TestKernelsUnderTSOAndSC(t *testing.T) {
+	progs := []isa.Program{
+		spinlockProgram(0x100, 0x200, 25),
+		spinlockProgram(0x100, 0x200, 25),
+	}
+	for _, model := range []cpu.MemModel{cpu.TSO, cpu.SC} {
+		cfg := DefaultConfig(2)
+		cfg.CPU.Model = model
+		m := New(cfg, progs, nil)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.FinalMemory()[0x200]; got != 50 {
+			t.Fatalf("%v: counter = %d", model, got)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package replay
+
+import (
+	"sort"
+
+	"relaxreplay/internal/replaylog"
+)
+
+// Parallel replay estimate (an extension; see DESIGN.md).
+//
+// The paper's evaluation replays sequentially because QuickRec's
+// interval ordering is a total order, but §3.6/§5.4 note that pairing
+// RelaxReplay with an orderer that records pairwise dependences (Karma,
+// Cyrus) admits parallel replay. Our recorder additionally logs
+// Cyrus-style dependence edges (Interval.Preds); EstimateParallel
+// schedules the intervals on one logical processor per recorded core —
+// an interval starts when its same-core predecessor and all its
+// dependence predecessors have finished — and returns the parallel
+// makespan next to the sequential replay time, using the same timing
+// model. Values are still verified by the sequential replayer; this is
+// a timing estimate of the parallelism the log exposes.
+
+// ParallelEstimate compares sequential and parallel replay schedules.
+type ParallelEstimate struct {
+	SequentialCycles uint64
+	ParallelCycles   uint64
+}
+
+// Speedup returns the parallel-replay speedup over sequential replay.
+func (p ParallelEstimate) Speedup() float64 {
+	if p.ParallelCycles == 0 {
+		return 0
+	}
+	return float64(p.SequentialCycles) / float64(p.ParallelCycles)
+}
+
+// EstimateParallel computes the estimate for a (patched or unpatched)
+// log under the given timing model and per-core recorded CPI.
+func EstimateParallel(cfg Config, log *replaylog.Log, cpi []float64) ParallelEstimate {
+	// Duration of one interval under the replay timing model.
+	duration := func(core int, iv *replaylog.Interval) uint64 {
+		d := cfg.IntervalSwitchCycles
+		f := 1.0
+		if cpi != nil && core < len(cpi) {
+			f = cpi[core]
+		}
+		for _, e := range iv.Entries {
+			switch e.Type {
+			case replaylog.InorderBlock:
+				d += cfg.BlockInterruptCycles
+				d += uint64(float64(e.Size) * f * cfg.UserCPIFactor)
+			default:
+				d += cfg.EntryEmulationCycles
+			}
+		}
+		return d
+	}
+
+	var est ParallelEstimate
+	// end[core][seq] = completion time in the parallel schedule.
+	end := make(map[[2]uint64]uint64)
+	// Process intervals in global timestamp order: every predecessor
+	// (same-core or cross-core) has a smaller termination timestamp,
+	// so a single pass suffices.
+	type ref struct {
+		core int
+		iv   *replaylog.Interval
+	}
+	var order []ref
+	for si := range log.Streams {
+		s := &log.Streams[si]
+		for i := range s.Intervals {
+			order = append(order, ref{core: s.Core, iv: &s.Intervals[i]})
+		}
+	}
+	// Sort by (timestamp, core) — identical to the sequential replay
+	// order.
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].iv.Timestamp != order[j].iv.Timestamp {
+			return order[i].iv.Timestamp < order[j].iv.Timestamp
+		}
+		return order[i].core < order[j].core
+	})
+
+	for _, r := range order {
+		d := duration(r.core, r.iv)
+		est.SequentialCycles += d
+		start := uint64(0)
+		if r.iv.Seq > 0 {
+			start = end[[2]uint64{uint64(r.core), r.iv.Seq - 1}]
+		}
+		for _, p := range r.iv.Preds {
+			if e := end[[2]uint64{uint64(p.Core), p.Seq}]; e > start {
+				start = e
+			}
+		}
+		end[[2]uint64{uint64(r.core), r.iv.Seq}] = start + d
+		if fin := start + d; fin > est.ParallelCycles {
+			est.ParallelCycles = fin
+		}
+	}
+	return est
+}

@@ -1,0 +1,234 @@
+package replaylog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization of a Log. The on-disk format is byte-aligned
+// and therefore larger than the uncompressed-bit accounting used for
+// Figure 11; SizeBits remains the metric of record.
+
+var magic = [4]byte{'R', 'R', 'L', 'G'}
+
+const formatVersion = 1
+
+// Encode writes the log to w.
+func Encode(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	put := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	patched := uint8(0)
+	if l.Patched {
+		patched = 1
+	}
+	if err := put(uint16(formatVersion), uint32(l.Cores), patched, uint16(len(l.Variant))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(l.Variant); err != nil {
+		return err
+	}
+	if err := put(uint32(len(l.Inputs))); err != nil {
+		return err
+	}
+	for _, in := range l.Inputs {
+		if err := put(uint32(len(in))); err != nil {
+			return err
+		}
+		for _, v := range in {
+			if err := put(v); err != nil {
+				return err
+			}
+		}
+	}
+	if err := put(uint32(len(l.Streams))); err != nil {
+		return err
+	}
+	for _, s := range l.Streams {
+		if err := put(uint32(s.Core), uint32(len(s.Intervals))); err != nil {
+			return err
+		}
+		for _, iv := range s.Intervals {
+			if err := put(iv.Seq, iv.Timestamp, uint32(len(iv.Entries)), uint32(len(iv.Preds))); err != nil {
+				return err
+			}
+			for _, e := range iv.Entries {
+				if err := encodeEntry(put, e); err != nil {
+					return err
+				}
+			}
+			for _, p := range iv.Preds {
+				if err := put(uint32(p.Core), p.Seq); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeEntry(put func(...any) error, e Entry) error {
+	if err := put(uint8(e.Type)); err != nil {
+		return err
+	}
+	switch e.Type {
+	case InorderBlock:
+		return put(e.Size)
+	case ReorderedLoad:
+		return put(e.Value)
+	case ReorderedStore, PatchedStore:
+		return put(e.Addr, e.Value, e.Offset)
+	case ReorderedAtomic:
+		w := uint8(0)
+		if e.DidWrite {
+			w = 1
+		}
+		return put(e.Addr, e.Value, e.StoreValue, e.Offset, w)
+	case Dummy:
+		return nil
+	}
+	return fmt.Errorf("replaylog: cannot encode entry type %v", e.Type)
+}
+
+// Decode reads a log written by Encode.
+func Decode(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("replaylog: bad magic %q", m)
+	}
+	get := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var version uint16
+	var cores uint32
+	var patched uint8
+	var vlen uint16
+	if err := get(&version, &cores, &patched, &vlen); err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("replaylog: unsupported version %d", version)
+	}
+	vbuf := make([]byte, vlen)
+	if _, err := io.ReadFull(br, vbuf); err != nil {
+		return nil, err
+	}
+	l := &Log{Cores: int(cores), Patched: patched != 0, Variant: string(vbuf)}
+
+	var nin uint32
+	if err := get(&nin); err != nil {
+		return nil, err
+	}
+	// Counts are read from untrusted input: never pre-allocate the
+	// full declared size (a corrupted count must fail at EOF, not OOM).
+	l.Inputs = make([][]uint64, 0, capAt(int(nin)))
+	for i := uint32(0); i < nin; i++ {
+		var n uint32
+		if err := get(&n); err != nil {
+			return nil, err
+		}
+		var in []uint64
+		for j := uint32(0); j < n; j++ {
+			var v uint64
+			if err := get(&v); err != nil {
+				return nil, err
+			}
+			in = append(in, v)
+		}
+		l.Inputs = append(l.Inputs, in)
+	}
+
+	var nstreams uint32
+	if err := get(&nstreams); err != nil {
+		return nil, err
+	}
+	l.Streams = make([]CoreLog, 0, capAt(int(nstreams)))
+	for si := uint32(0); si < nstreams; si++ {
+		var core, nivs uint32
+		if err := get(&core, &nivs); err != nil {
+			return nil, err
+		}
+		s := CoreLog{Core: int(core)}
+		for i := uint32(0); i < nivs; i++ {
+			var iv Interval
+			var nent, npred uint32
+			if err := get(&iv.Seq, &iv.Timestamp, &nent, &npred); err != nil {
+				return nil, err
+			}
+			iv.CISN = uint16(iv.Seq)
+			for j := uint32(0); j < nent; j++ {
+				var e Entry
+				if err := decodeEntry(get, &e); err != nil {
+					return nil, err
+				}
+				iv.Entries = append(iv.Entries, e)
+			}
+			for j := uint32(0); j < npred; j++ {
+				var pc uint32
+				var p Pred
+				if err := get(&pc, &p.Seq); err != nil {
+					return nil, err
+				}
+				p.Core = int(pc)
+				iv.Preds = append(iv.Preds, p)
+			}
+			s.Intervals = append(s.Intervals, iv)
+		}
+		l.Streams = append(l.Streams, s)
+	}
+	return l, nil
+}
+
+// capAt bounds speculative pre-allocation for untrusted counts.
+func capAt(n int) int {
+	if n > 1024 {
+		return 1024
+	}
+	return n
+}
+
+func decodeEntry(get func(...any) error, e *Entry) error {
+	var t uint8
+	if err := get(&t); err != nil {
+		return err
+	}
+	e.Type = EntryType(t)
+	switch e.Type {
+	case InorderBlock:
+		return get(&e.Size)
+	case ReorderedLoad:
+		return get(&e.Value)
+	case ReorderedStore, PatchedStore:
+		return get(&e.Addr, &e.Value, &e.Offset)
+	case ReorderedAtomic:
+		var w uint8
+		if err := get(&e.Addr, &e.Value, &e.StoreValue, &e.Offset, &w); err != nil {
+			return err
+		}
+		e.DidWrite = w != 0
+		return nil
+	case Dummy:
+		return nil
+	}
+	return fmt.Errorf("replaylog: cannot decode entry type %d", t)
+}

@@ -1,0 +1,299 @@
+// Package replaylog defines RelaxReplay's interval log: the entry
+// types of paper Figure 6(c), per-core interval streams ordered by the
+// QuickRec-style global timestamp, the recorded input log, the
+// off-line "patching" pass that moves reordered stores back to the
+// interval where they performed (paper §3.3.2), and a binary
+// serialization.
+//
+// Log sizes are accounted in uncompressed bits using the paper's field
+// widths, which is what Figure 11 reports.
+package replaylog
+
+import "fmt"
+
+// EntryType discriminates log record entries.
+type EntryType uint8
+
+const (
+	// InorderBlock: a run of Size consecutive instructions (memory and
+	// non-memory alike) to be replayed natively in program order.
+	InorderBlock EntryType = iota
+	// ReorderedLoad: the next instruction in program order is a load
+	// whose recorded Value must be injected instead of accessing memory.
+	ReorderedLoad
+	// ReorderedStore: a store counted here but performed Offset
+	// intervals earlier; patching moves it there. Pre-patch only.
+	ReorderedStore
+	// ReorderedAtomic: an atomic RMW counted here but performed Offset
+	// intervals earlier. Value is the loaded (old) value, StoreValue
+	// the value written (if DidWrite). Pre-patch only; patching splits
+	// it into a PatchedStore plus a ReorderedLoad-like entry. This is
+	// an extension over the paper, which does not discuss atomics.
+	ReorderedAtomic
+	// PatchedStore: a reordered store moved (by patching) to the end
+	// of the interval where it performed. The replayer applies the
+	// write without advancing the program counter. Post-patch only.
+	PatchedStore
+	// Dummy: placeholder left at the counting position of a patched
+	// store; the replayer skips one instruction. Post-patch only.
+	Dummy
+	// IntervalFrame terminates an interval record, carrying the CISN
+	// and the global timestamp used to order intervals across cores.
+	IntervalFrame
+)
+
+func (t EntryType) String() string {
+	switch t {
+	case InorderBlock:
+		return "InorderBlock"
+	case ReorderedLoad:
+		return "ReorderedLoad"
+	case ReorderedStore:
+		return "ReorderedStore"
+	case ReorderedAtomic:
+		return "ReorderedAtomic"
+	case PatchedStore:
+		return "PatchedStore"
+	case Dummy:
+		return "Dummy"
+	case IntervalFrame:
+		return "IntervalFrame"
+	}
+	return fmt.Sprintf("EntryType(%d)", uint8(t))
+}
+
+// Entry is one log record entry. Fields are used per type.
+type Entry struct {
+	Type EntryType
+
+	Size       uint32 // InorderBlock: instruction count
+	Value      uint64 // ReorderedLoad/Atomic: loaded value; (Patched)Store: stored value
+	Addr       uint64 // (Patched)Store / Atomic: byte address
+	StoreValue uint64 // Atomic: value written
+	DidWrite   bool   // Atomic: whether the write took effect (CAS)
+	Offset     uint16 // Store/Atomic: intervals since the perform
+}
+
+// Paper field widths in bits (Figure 6(c) plus our atomic extension).
+const (
+	typeBits  = 3 // the paper uses 2; we carry one more type
+	sizeBits  = 32
+	valueBits = 64
+	addrBits  = 64
+	offBits   = 16
+	cisnBits  = 16
+	tsBits    = 64
+)
+
+// Bits returns the uncompressed size of the entry in bits, as
+// accounted by Figure 11.
+func (e Entry) Bits() int {
+	switch e.Type {
+	case InorderBlock:
+		return typeBits + sizeBits
+	case ReorderedLoad:
+		return typeBits + valueBits
+	case ReorderedStore, PatchedStore:
+		return typeBits + addrBits + valueBits + offBits
+	case ReorderedAtomic:
+		return typeBits + addrBits + 2*valueBits + offBits + 1
+	case Dummy:
+		return typeBits
+	case IntervalFrame:
+		return typeBits + cisnBits + tsBits
+	}
+	return 0
+}
+
+// Pred names a predecessor interval on another core: the dependence
+// edges a Cyrus-style orderer records to enable parallel replay. The
+// QuickRec total order (Timestamp) already subsumes them for
+// sequential replay; they exist for the parallel-replay estimate.
+type Pred struct {
+	Core int
+	Seq  uint64
+}
+
+// Interval is one interval's record: its entries followed (logically)
+// by the IntervalFrame information.
+type Interval struct {
+	Seq       uint64 // full-precision interval sequence number
+	CISN      uint16 // the logged 16-bit CISN (Seq mod 2^16)
+	Timestamp uint64 // global cycle at termination; total order key
+	Entries   []Entry
+	Preds     []Pred // cross-core dependence edges (parallel replay)
+}
+
+// Instructions returns the number of instructions replayed by this
+// interval (patched stores replay no instruction).
+func (iv *Interval) Instructions() uint64 {
+	var n uint64
+	for _, e := range iv.Entries {
+		switch e.Type {
+		case InorderBlock:
+			n += uint64(e.Size)
+		case ReorderedLoad, ReorderedAtomic, ReorderedStore, Dummy:
+			n++
+		}
+	}
+	return n
+}
+
+// CoreLog is the interval stream of one core.
+type CoreLog struct {
+	Core      int
+	Intervals []Interval
+}
+
+// Log is a complete RelaxReplay recording.
+type Log struct {
+	Cores   int
+	Variant string // "base" or "opt" (informational; replay is oblivious)
+	Patched bool
+
+	Streams []CoreLog
+	// Inputs is the recorded input log (per core), replayed into IN.
+	Inputs [][]uint64
+}
+
+// SizeBits returns the total uncompressed log size in bits.
+func (l *Log) SizeBits() int {
+	n := 0
+	for _, s := range l.Streams {
+		for _, iv := range s.Intervals {
+			n += int(typeBits + cisnBits + tsBits) // the IntervalFrame
+			for _, e := range iv.Entries {
+				n += e.Bits()
+			}
+		}
+	}
+	return n
+}
+
+// CountEntries returns the total number of entries of the given type.
+func (l *Log) CountEntries(t EntryType) int {
+	n := 0
+	for _, s := range l.Streams {
+		for _, iv := range s.Intervals {
+			for _, e := range iv.Entries {
+				if e.Type == t {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Instructions returns the total instruction count across all cores.
+func (l *Log) Instructions() uint64 {
+	var n uint64
+	for _, s := range l.Streams {
+		for i := range s.Intervals {
+			n += s.Intervals[i].Instructions()
+		}
+	}
+	return n
+}
+
+// Patch performs the off-line patching pass (paper §3.3.2): every
+// ReorderedStore (and the store half of every ReorderedAtomic) is
+// moved to the end of the interval that is Offset positions earlier —
+// the interval where the store performed — leaving a Dummy (or a
+// ReorderedLoad carrying the atomic's loaded value) at the counting
+// position. The result is a new Log ready for replay; the input is not
+// modified.
+func (l *Log) Patch() (*Log, error) {
+	if l.Patched {
+		return nil, fmt.Errorf("replaylog: log already patched")
+	}
+	out := &Log{
+		Cores:   l.Cores,
+		Variant: l.Variant,
+		Patched: true,
+		Streams: make([]CoreLog, len(l.Streams)),
+		Inputs:  l.Inputs,
+	}
+	for ci, s := range l.Streams {
+		ns := CoreLog{Core: s.Core, Intervals: make([]Interval, len(s.Intervals))}
+		for i, iv := range s.Intervals {
+			ns.Intervals[i] = Interval{Seq: iv.Seq, CISN: iv.CISN, Timestamp: iv.Timestamp}
+			ns.Intervals[i].Entries = append([]Entry(nil), iv.Entries...)
+			ns.Intervals[i].Preds = iv.Preds
+		}
+		for i := range ns.Intervals {
+			iv := &ns.Intervals[i]
+			for j, e := range iv.Entries {
+				switch e.Type {
+				case ReorderedStore, ReorderedAtomic:
+					target := i - int(e.Offset)
+					if target < 0 {
+						return nil, fmt.Errorf("replaylog: core %d interval %d: offset %d reaches before the log", s.Core, i, e.Offset)
+					}
+					if e.Type == ReorderedStore {
+						iv.Entries[j] = Entry{Type: Dummy}
+					} else {
+						if !e.DidWrite {
+							// Failed CAS: nothing to patch; replay it
+							// as a pure value injection.
+							iv.Entries[j] = Entry{Type: ReorderedLoad, Value: e.Value}
+							continue
+						}
+						iv.Entries[j] = Entry{Type: ReorderedLoad, Value: e.Value}
+					}
+					ns.Intervals[target].Entries = append(ns.Intervals[target].Entries,
+						Entry{Type: PatchedStore, Addr: e.Addr, Value: valueForPatch(e), Offset: e.Offset})
+				}
+			}
+		}
+		out.Streams[ci] = ns
+	}
+	return out, nil
+}
+
+func valueForPatch(e Entry) uint64 {
+	if e.Type == ReorderedAtomic {
+		return e.StoreValue
+	}
+	return e.Value
+}
+
+// Validate checks structural well-formedness: monotone timestamps per
+// core, consistent CISNs, no post-patch types in an unpatched log and
+// vice versa.
+func (l *Log) Validate() error {
+	for _, s := range l.Streams {
+		var lastTS uint64
+		for i, iv := range s.Intervals {
+			if iv.Timestamp < lastTS {
+				return fmt.Errorf("replaylog: core %d interval %d: timestamp %d < %d", s.Core, i, iv.Timestamp, lastTS)
+			}
+			lastTS = iv.Timestamp
+			if iv.CISN != uint16(iv.Seq) {
+				return fmt.Errorf("replaylog: core %d interval %d: CISN %d != Seq %d mod 2^16", s.Core, i, iv.CISN, iv.Seq)
+			}
+			for _, e := range iv.Entries {
+				switch e.Type {
+				case ReorderedStore, ReorderedAtomic:
+					if l.Patched {
+						return fmt.Errorf("replaylog: core %d: %v entry in patched log", s.Core, e.Type)
+					}
+					if uint64(e.Offset) > iv.Seq {
+						return fmt.Errorf("replaylog: core %d: offset %d exceeds interval seq %d", s.Core, e.Offset, iv.Seq)
+					}
+				case PatchedStore, Dummy:
+					if !l.Patched {
+						return fmt.Errorf("replaylog: core %d: %v entry in unpatched log", s.Core, e.Type)
+					}
+				case InorderBlock:
+					if e.Size == 0 {
+						return fmt.Errorf("replaylog: core %d: empty InorderBlock", s.Core)
+					}
+				case IntervalFrame:
+					return fmt.Errorf("replaylog: core %d: explicit IntervalFrame entry", s.Core)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package replaylog
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleLog() *Log {
+	return &Log{
+		Cores:   2,
+		Variant: "opt",
+		Inputs:  [][]uint64{{1, 2, 3}, nil},
+		Streams: []CoreLog{
+			{Core: 0, Intervals: []Interval{
+				{Seq: 0, CISN: 0, Timestamp: 100, Entries: []Entry{
+					{Type: InorderBlock, Size: 10},
+				}},
+				{Seq: 1, CISN: 1, Timestamp: 200, Entries: []Entry{
+					{Type: InorderBlock, Size: 3},
+					{Type: ReorderedLoad, Value: 42},
+					{Type: InorderBlock, Size: 2},
+					{Type: ReorderedStore, Addr: 0x100, Value: 7, Offset: 1},
+					{Type: InorderBlock, Size: 4},
+				}},
+			}},
+			{Core: 1, Intervals: []Interval{
+				{Seq: 0, CISN: 0, Timestamp: 150, Entries: []Entry{
+					{Type: InorderBlock, Size: 20},
+					{Type: ReorderedAtomic, Addr: 0x200, Value: 5, StoreValue: 6, DidWrite: true, Offset: 0},
+				}},
+			}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := sampleLog()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadLogs(t *testing.T) {
+	bad := sampleLog()
+	bad.Streams[0].Intervals[1].Timestamp = 50 // non-monotone
+	if bad.Validate() == nil {
+		t.Error("non-monotone timestamps accepted")
+	}
+
+	bad = sampleLog()
+	bad.Streams[0].Intervals[1].Entries[0].Size = 0
+	if bad.Validate() == nil {
+		t.Error("empty InorderBlock accepted")
+	}
+
+	bad = sampleLog()
+	bad.Streams[0].Intervals[0].Entries = []Entry{{Type: Dummy}}
+	if bad.Validate() == nil {
+		t.Error("Dummy in unpatched log accepted")
+	}
+
+	bad = sampleLog()
+	bad.Streams[0].Intervals[1].Entries[3].Offset = 5 // reaches before log start
+	if bad.Validate() == nil {
+		t.Error("out-of-range offset accepted")
+	}
+}
+
+func TestPatchMovesStores(t *testing.T) {
+	l := sampleLog()
+	p, err := l.Patch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The reordered store from interval 1 must now be a PatchedStore
+	// at the end of interval 0, with a Dummy left behind.
+	iv0 := p.Streams[0].Intervals[0]
+	last := iv0.Entries[len(iv0.Entries)-1]
+	if last.Type != PatchedStore || last.Addr != 0x100 || last.Value != 7 {
+		t.Fatalf("interval 0 tail = %+v", last)
+	}
+	if p.Streams[0].Intervals[1].Entries[3].Type != Dummy {
+		t.Fatalf("counting position not dummied: %+v", p.Streams[0].Intervals[1].Entries[3])
+	}
+	// The atomic (offset 0) patches into its own interval: a
+	// ReorderedLoad at the counting slot plus a PatchedStore at the end.
+	iv := p.Streams[1].Intervals[0]
+	if iv.Entries[1].Type != ReorderedLoad || iv.Entries[1].Value != 5 {
+		t.Fatalf("atomic counting slot = %+v", iv.Entries[1])
+	}
+	tail := iv.Entries[len(iv.Entries)-1]
+	if tail.Type != PatchedStore || tail.Value != 6 || tail.Addr != 0x200 {
+		t.Fatalf("atomic store slot = %+v", tail)
+	}
+	// Original must be untouched.
+	if l.Patched || l.Streams[0].Intervals[1].Entries[3].Type != ReorderedStore {
+		t.Fatal("Patch mutated its input")
+	}
+	// Double patch is an error.
+	if _, err := p.Patch(); err == nil {
+		t.Fatal("double patch accepted")
+	}
+}
+
+func TestPatchFailedCAS(t *testing.T) {
+	l := &Log{
+		Cores: 1,
+		Streams: []CoreLog{{Core: 0, Intervals: []Interval{
+			{Seq: 0, Timestamp: 1, Entries: []Entry{
+				{Type: ReorderedAtomic, Addr: 8, Value: 9, DidWrite: false, Offset: 0},
+			}},
+		}}},
+	}
+	p, err := l.Patch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := p.Streams[0].Intervals[0].Entries
+	if len(es) != 1 || es[0].Type != ReorderedLoad || es[0].Value != 9 {
+		t.Fatalf("failed CAS should become a pure value injection: %+v", es)
+	}
+}
+
+func TestInstructionsCount(t *testing.T) {
+	l := sampleLog()
+	// Core 0: 10 + (3+1+2+1+4) = 21; core 1: 20 + 1 = 21.
+	if got := l.Instructions(); got != 42 {
+		t.Fatalf("Instructions = %d", got)
+	}
+	p, _ := l.Patch()
+	// Patching preserves replayed instruction counts (PatchedStore
+	// replays no instruction; Dummy replays the skipped one).
+	if got := p.Instructions(); got != 42 {
+		t.Fatalf("patched Instructions = %d", got)
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	checks := map[EntryType]int{
+		InorderBlock:    3 + 32,
+		ReorderedLoad:   3 + 64,
+		ReorderedStore:  3 + 64 + 64 + 16,
+		PatchedStore:    3 + 64 + 64 + 16,
+		ReorderedAtomic: 3 + 64 + 128 + 16 + 1,
+		Dummy:           3,
+	}
+	for ty, want := range checks {
+		if got := (Entry{Type: ty}).Bits(); got != want {
+			t.Errorf("%v bits = %d, want %d", ty, got, want)
+		}
+	}
+	l := &Log{Streams: []CoreLog{{Intervals: []Interval{{Entries: []Entry{{Type: InorderBlock, Size: 5}}}}}}}
+	if got := l.SizeBits(); got != (3+32)+(3+16+64) {
+		t.Fatalf("SizeBits = %d", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := Encode(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", l, got)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Decode(bytes.NewReader([]byte("RRLG\x09\x00"))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+// Property: encode/decode round-trips random structurally-valid logs.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLog(rng)
+		var buf bytes.Buffer
+		if err := Encode(&buf, l); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(l, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomLog(rng *rand.Rand) *Log {
+	cores := rng.Intn(4) + 1
+	l := &Log{Cores: cores, Variant: "base", Inputs: make([][]uint64, cores)}
+	for c := 0; c < cores; c++ {
+		for i := rng.Intn(4); i > 0; i-- {
+			l.Inputs[c] = append(l.Inputs[c], rng.Uint64())
+		}
+		s := CoreLog{Core: c}
+		ts := uint64(0)
+		for i := 0; i < rng.Intn(5); i++ {
+			ts += uint64(rng.Intn(1000))
+			iv := Interval{Seq: uint64(i), CISN: uint16(i), Timestamp: ts}
+			for j := 0; j < rng.Intn(6); j++ {
+				switch rng.Intn(4) {
+				case 0:
+					iv.Entries = append(iv.Entries, Entry{Type: InorderBlock, Size: uint32(rng.Intn(1000) + 1)})
+				case 1:
+					iv.Entries = append(iv.Entries, Entry{Type: ReorderedLoad, Value: rng.Uint64()})
+				case 2:
+					iv.Entries = append(iv.Entries, Entry{Type: ReorderedStore, Addr: rng.Uint64() &^ 7, Value: rng.Uint64(), Offset: uint16(rng.Intn(i + 1))})
+				case 3:
+					iv.Entries = append(iv.Entries, Entry{
+						Type: ReorderedAtomic, Addr: rng.Uint64() &^ 7, Value: rng.Uint64(),
+						StoreValue: rng.Uint64(), DidWrite: rng.Intn(2) == 0, Offset: uint16(rng.Intn(i + 1)),
+					})
+				}
+			}
+			s.Intervals = append(s.Intervals, iv)
+		}
+		l.Streams = append(l.Streams, s)
+	}
+	return l
+}
+
+// Property: patching never changes the replayed instruction count and
+// always yields a valid log.
+func TestPatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLog(rng)
+		if l.Validate() != nil {
+			return true // generator made something invalid; skip
+		}
+		p, err := l.Patch()
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil && p.Instructions() == l.Instructions()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "app", "value")
+	tb.AddRow("fft", "12.5")
+	tb.AddRow("longname", "3")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "app") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("bad header: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "fft") {
+		t.Fatalf("bad row: %q", lines[3])
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if out := tb.String(); !strings.Contains(out, "only") {
+		t.Fatalf("short row lost:\n%s", out)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal(F(1.23456, 2))
+	}
+	if Pct(0.1234, 1) != "12.3%" {
+		t.Fatal(Pct(0.1234, 1))
+	}
+}
+
+func TestMeanAndRatio(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of nothing")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("ratio")
+	}
+}

@@ -1,0 +1,584 @@
+package workload
+
+import (
+	"fmt"
+
+	"relaxreplay/internal/isa"
+)
+
+// Barrier-phased kernels: fft, lu, ocean, fmm, water. These reproduce
+// the bulk-synchronous SPLASH-2 applications: local compute phases
+// separated by barriers, with cross-thread reads of data produced by
+// other threads in the previous phase. All are deterministic, so each
+// carries an exact Go oracle over the final memory image.
+
+// emitAddr2D computes dst = base + (row*stride + idx)*8.
+// It clobbers dst and rt0; row and idx are preserved.
+func emitAddr2D(b *isa.Builder, dst, row, idx isa.Reg, base uint64, stride int64) {
+	b.Li(dst, stride)
+	b.Mul(dst, row, dst)
+	b.Add(dst, dst, idx)
+	b.Slli(dst, dst, 3)
+	b.Li(rt0, int64(base))
+	b.Add(dst, dst, rt0)
+}
+
+// FFT: phase 1 scales each thread's row locally; phase 2 is the
+// transpose: every thread reads a column across all other threads'
+// rows — the all-to-all communication at the heart of FFT.
+func FFT(cores, scale int) Workload {
+	W := int64(32 * scale)
+	lay := NewLayout()
+	bar := lay.Barrier()
+	data := lay.AllocWords(uint64(cores) * uint64(W))
+	out := lay.AllocWords(uint64(cores) * uint64(W))
+
+	r := isa.R
+	b := isa.NewBuilder("fft")
+	b.Li(r(3), W)
+	// Phase 1: four local butterfly-like passes over my own row.
+	b.Li(r(12), 0)
+	b.Label("pass")
+	b.Li(r(4), 0)
+	b.Label("p1")
+	emitAddr2D(b, r(7), RegTID, r(4), data, W)
+	b.Ld(r(8), r(7), 0)
+	b.Li(r(9), 3)
+	b.Mul(r(8), r(8), r(9))
+	b.Add(r(8), r(8), r(4))
+	b.St(r(8), r(7), 0)
+	b.Addi(r(4), r(4), 1)
+	b.Bne(r(4), r(3), "p1")
+	b.Addi(r(12), r(12), 1)
+	b.Li(r(13), 4)
+	b.Bne(r(12), r(13), "pass")
+	EmitBarrier(b, bar)
+	// Phase 2: out[t][i] = sum_s data[s][i] + t.
+	b.Li(r(4), 0)
+	b.Label("p2i")
+	b.Li(r(6), 0)
+	b.Li(r(5), 0)
+	b.Label("p2s")
+	emitAddr2D(b, r(7), r(5), r(4), data, W)
+	b.Ld(r(8), r(7), 0)
+	b.Add(r(6), r(6), r(8))
+	b.Addi(r(5), r(5), 1)
+	b.Bne(r(5), RegNCores, "p2s")
+	b.Add(r(6), r(6), RegTID)
+	emitAddr2D(b, r(7), RegTID, r(4), out, W)
+	b.St(r(6), r(7), 0)
+	b.Addi(r(4), r(4), 1)
+	b.Bne(r(4), r(3), "p2i")
+	EmitBarrier(b, bar)
+	b.Halt()
+
+	init := make(map[uint64]uint64)
+	for s := 0; s < cores; s++ {
+		for i := int64(0); i < W; i++ {
+			init[data+uint64(int64(s)*W+i)*8] = uint64(s*100) + uint64(i) + 1
+		}
+	}
+	check := func(mem map[uint64]uint64) error {
+		for t := 0; t < cores; t++ {
+			for i := int64(0); i < W; i++ {
+				var sum uint64
+				for s := 0; s < cores; s++ {
+					v := uint64(s*100) + uint64(i) + 1
+					for p := 0; p < 4; p++ {
+						v = v*3 + uint64(i)
+					}
+					sum += v
+				}
+				if err := expect(mem, out+uint64(int64(t)*W+i)*8, sum+uint64(t), "fft out"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return Workload{Name: "fft", Progs: spmd(cores, b.MustBuild()), InitMem: init, Check: check}
+}
+
+// LU: owner-computes pivot-column update broadcast to every thread's
+// own columns, with two barriers per elimination step.
+func LU(cores, scale int) Workload {
+	ncols := int64(2 * cores)
+	L := int64(32 * scale)
+	lay := NewLayout()
+	bar := lay.Barrier()
+	cols := lay.AllocWords(uint64(ncols * L))
+
+	r := isa.R
+	b := isa.NewBuilder("lu")
+	b.Li(r(3), ncols)
+	b.Li(r(10), L)
+	b.Li(r(4), 0)  // k
+	b.Li(r(11), 0) // k mod ncores
+	b.Label("kloop")
+	b.Bne(r(11), RegTID, "skip_pivot")
+	b.Li(r(6), 0)
+	b.Label("pj")
+	emitAddr2D(b, r(7), r(4), r(6), cols, L)
+	b.Ld(r(8), r(7), 0)
+	b.Slli(r(8), r(8), 1)
+	b.Addi(r(8), r(8), 1)
+	b.St(r(8), r(7), 0)
+	b.Addi(r(6), r(6), 1)
+	b.Bne(r(6), r(10), "pj")
+	b.Label("skip_pivot")
+	EmitBarrier(b, bar)
+	// Update my columns c in (k, ncols).
+	b.Addi(r(5), r(4), 1)   // c
+	b.Addi(r(13), r(11), 1) // c mod ncores
+	b.Bne(r(13), RegNCores, "nw0")
+	b.Mov(r(13), r(0))
+	b.Label("nw0")
+	b.Label("cloop")
+	b.Bge(r(5), r(3), "cdone")
+	b.Bne(r(13), RegTID, "cnext")
+	b.Li(r(6), 0)
+	b.Label("uj")
+	emitAddr2D(b, r(7), r(4), r(6), cols, L)
+	b.Ld(r(8), r(7), 0)
+	emitAddr2D(b, r(7), r(5), r(6), cols, L)
+	b.Ld(r(9), r(7), 0)
+	b.Add(r(9), r(9), r(8))
+	b.St(r(9), r(7), 0)
+	b.Addi(r(6), r(6), 1)
+	b.Bne(r(6), r(10), "uj")
+	b.Label("cnext")
+	b.Addi(r(5), r(5), 1)
+	b.Addi(r(13), r(13), 1)
+	b.Bne(r(13), RegNCores, "nw1")
+	b.Mov(r(13), r(0))
+	b.Label("nw1")
+	b.Jmp("cloop")
+	b.Label("cdone")
+	EmitBarrier(b, bar)
+	b.Addi(r(4), r(4), 1)
+	b.Addi(r(11), r(11), 1)
+	b.Bne(r(11), RegNCores, "nw2")
+	b.Mov(r(11), r(0))
+	b.Label("nw2")
+	b.Bne(r(4), r(3), "kloop")
+	b.Halt()
+
+	init := make(map[uint64]uint64)
+	model := make([]uint64, ncols*L)
+	for c := int64(0); c < ncols; c++ {
+		for j := int64(0); j < L; j++ {
+			v := uint64(c*13 + j + 1)
+			init[cols+uint64(c*L+j)*8] = v
+			model[c*L+j] = v
+		}
+	}
+	// Oracle: run the elimination sequentially.
+	for k := int64(0); k < ncols; k++ {
+		for j := int64(0); j < L; j++ {
+			model[k*L+j] = model[k*L+j]*2 + 1
+		}
+		for c := k + 1; c < ncols; c++ {
+			for j := int64(0); j < L; j++ {
+				model[c*L+j] += model[k*L+j]
+			}
+		}
+	}
+	check := func(mem map[uint64]uint64) error {
+		for i, want := range model {
+			if err := expect(mem, cols+uint64(i)*8, want, "lu col"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return Workload{Name: "lu", Progs: spmd(cores, b.MustBuild()), InitMem: init, Check: check}
+}
+
+// Ocean: a row-partitioned 1D stencil iterated over barrier-separated
+// timesteps; each thread reads its neighbors' boundary rows.
+func Ocean(cores, scale int) Workload {
+	return oceanKernel(cores, scale, false)
+}
+
+// oceanKernel builds the stencil with blocked (contiguous) or
+// round-robin (non-contiguous) row ownership.
+func oceanKernel(cores, scale int, roundRobin bool) Workload {
+	rows := int64(2 * cores)
+	W := int64(64)
+	steps := int64(scale)
+	lay := NewLayout()
+	bar := lay.Barrier()
+	gridA := lay.AllocWords(uint64(rows * W))
+	gridB := lay.AllocWords(uint64(rows * W))
+	priv := lay.AllocWords(uint64(cores) * 64)
+
+	r := isa.R
+	b := isa.NewBuilder("ocean")
+	b.Li(r(14), int64(gridA)) // src
+	b.Li(r(15), int64(gridB)) // dst
+	b.Li(r(16), steps)
+	b.Li(r(17), 0) // step
+	b.Li(r(21), W)
+	b.Li(r(22), rows)
+	b.Label("step")
+	b.Li(r(19), 0) // row offset 0..1
+	b.Label("rowloop")
+	if roundRobin {
+		b.Li(r(18), int64(cores))
+		b.Mul(r(18), r(19), r(18))
+		b.Add(r(18), r(18), RegTID) // r = off*cores + tid
+	} else {
+		b.Slli(r(18), RegTID, 1)
+		b.Add(r(18), r(18), r(19)) // r = 2*tid + off
+	}
+	b.Li(r(4), 0) // i
+	b.Label("iloop")
+	// sum = src[r][i] + 1
+	b.Li(r(7), W)
+	b.Mul(r(7), r(18), r(7))
+	b.Add(r(7), r(7), r(4))
+	b.Slli(r(7), r(7), 3)
+	b.Add(r(7), r(7), r(14))
+	b.Ld(r(6), r(7), 0)
+	b.Addi(r(6), r(6), 1)
+	EmitLocalWork(b, priv, 12) // per-point relaxation arithmetic
+	// + src[r-1][i] when r > 0 (one row back = W words back)
+	b.Beq(r(18), r(0), "noup")
+	b.Li(r(9), W*8)
+	b.Sub(r(9), r(7), r(9))
+	b.Ld(r(8), r(9), 0)
+	b.Add(r(6), r(6), r(8))
+	b.Label("noup")
+	// + src[r+1][i] when r < rows-1
+	b.Addi(r(9), r(18), 1)
+	b.Beq(r(9), r(22), "nodown")
+	b.Li(r(9), W*8)
+	b.Add(r(9), r(7), r(9))
+	b.Ld(r(8), r(9), 0)
+	b.Add(r(6), r(6), r(8))
+	b.Label("nodown")
+	// dst[r][i] = sum (same offset, other grid)
+	b.Sub(r(7), r(7), r(14))
+	b.Add(r(7), r(7), r(15))
+	b.St(r(6), r(7), 0)
+	b.Addi(r(4), r(4), 1)
+	b.Bne(r(4), r(21), "iloop")
+	b.Addi(r(19), r(19), 1)
+	b.Li(r(9), 2)
+	b.Bne(r(19), r(9), "rowloop")
+	EmitBarrier(b, bar)
+	// Swap src/dst.
+	b.Mov(r(20), r(14))
+	b.Mov(r(14), r(15))
+	b.Mov(r(15), r(20))
+	b.Addi(r(17), r(17), 1)
+	b.Bne(r(17), r(16), "step")
+	b.Halt()
+
+	init := make(map[uint64]uint64)
+	model := make([]uint64, rows*W)
+	for i := range model {
+		model[i] = uint64(i%17) + 1
+		init[gridA+uint64(i)*8] = model[i]
+	}
+	// Oracle.
+	next := make([]uint64, rows*W)
+	src := model
+	for s := int64(0); s < steps; s++ {
+		for row := int64(0); row < rows; row++ {
+			for i := int64(0); i < W; i++ {
+				sum := src[row*W+i] + 1
+				if row > 0 {
+					sum += src[(row-1)*W+i]
+				}
+				if row < rows-1 {
+					sum += src[(row+1)*W+i]
+				}
+				next[row*W+i] = sum
+			}
+		}
+		src, next = next, src
+	}
+	finalBase := gridA
+	if steps%2 == 1 {
+		finalBase = gridB
+	}
+	check := func(mem map[uint64]uint64) error {
+		for i, want := range src {
+			if err := expect(mem, finalBase+uint64(i)*8, want, "ocean grid"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return Workload{Name: "ocean", Progs: spmd(cores, b.MustBuild()), InitMem: init, Check: check}
+}
+
+// FMM: irregular neighbor interactions — each cell reads three
+// scattered neighbor cells through an index table each timestep.
+func FMM(cores, scale int) Workload {
+	perCore := int64(4)
+	cells := int64(cores) * perCore
+	steps := int64(2 * scale)
+	lay := NewLayout()
+	bar := lay.Barrier()
+	valA := lay.AllocWords(uint64(cells) * 4) // one line per cell
+	valB := lay.AllocWords(uint64(cells) * 4)
+	nbrs := lay.AllocWords(uint64(cells * 3))
+	priv := lay.AllocWords(uint64(cores) * 64)
+
+	nbrOf := func(c, j int64) int64 {
+		switch j {
+		case 0:
+			return (c*7 + 1) % cells
+		case 1:
+			return (c*3 + 2) % cells
+		default:
+			return (c + cells - 1) % cells
+		}
+	}
+
+	r := isa.R
+	b := isa.NewBuilder("fmm")
+	b.Li(r(14), int64(valA))
+	b.Li(r(15), int64(valB))
+	b.Li(r(16), steps)
+	b.Li(r(17), 0)
+	b.Li(r(21), perCore)
+	b.Label("step")
+	b.Li(r(19), 0) // cell offset within my range
+	b.Label("cell")
+	b.Li(r(18), perCore)
+	b.Mul(r(18), RegTID, r(18))
+	b.Add(r(18), r(18), r(19)) // c
+	EmitCompute(b, 64)
+	EmitLocalWork(b, priv, 96) // per-cell multipole arithmetic
+	// acc = src[c]
+	b.Slli(r(7), r(18), 5)
+	b.Add(r(7), r(7), r(14))
+	b.Ld(r(6), r(7), 0)
+	// + src[nbr[c][j]] for j in 0..3
+	b.Li(r(4), 0)
+	b.Label("nbr")
+	b.Li(r(8), 3)
+	b.Mul(r(8), r(18), r(8))
+	b.Add(r(8), r(8), r(4))
+	b.Slli(r(8), r(8), 3)
+	b.Li(rt0, int64(nbrs))
+	b.Add(r(8), r(8), rt0)
+	b.Ld(r(9), r(8), 0) // neighbor index
+	b.Slli(r(9), r(9), 5)
+	b.Add(r(9), r(9), r(14))
+	b.Ld(r(8), r(9), 0)
+	b.Add(r(6), r(6), r(8))
+	b.Addi(r(4), r(4), 1)
+	b.Li(r(9), 3)
+	b.Bne(r(4), r(9), "nbr")
+	// dst[c] = acc
+	b.Slli(r(7), r(18), 5)
+	b.Add(r(7), r(7), r(15))
+	b.St(r(6), r(7), 0)
+	b.Addi(r(19), r(19), 1)
+	b.Bne(r(19), r(21), "cell")
+	EmitBarrier(b, bar)
+	b.Mov(r(20), r(14))
+	b.Mov(r(14), r(15))
+	b.Mov(r(15), r(20))
+	b.Addi(r(17), r(17), 1)
+	b.Bne(r(17), r(16), "step")
+	b.Halt()
+
+	init := make(map[uint64]uint64)
+	model := make([]uint64, cells)
+	for c := int64(0); c < cells; c++ {
+		model[c] = uint64(c*c + 5)
+		init[valA+uint64(c)*32] = model[c]
+		for j := int64(0); j < 3; j++ {
+			init[nbrs+uint64(c*3+j)*8] = uint64(nbrOf(c, j))
+		}
+	}
+	next := make([]uint64, cells)
+	src := model
+	for s := int64(0); s < steps; s++ {
+		for c := int64(0); c < cells; c++ {
+			acc := src[c]
+			for j := int64(0); j < 3; j++ {
+				acc += src[nbrOf(c, j)]
+			}
+			next[c] = acc
+		}
+		src, next = next, src
+	}
+	finalBase := valA
+	if steps%2 == 1 {
+		finalBase = valB
+	}
+	check := func(mem map[uint64]uint64) error {
+		for c, want := range src {
+			if err := expect(mem, finalBase+uint64(c)*32, want, "fmm cell"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return Workload{Name: "fmm", Progs: spmd(cores, b.MustBuild()), InitMem: init, Check: check}
+}
+
+// Water: per-step local molecule updates plus a lock-protected global
+// energy accumulation and single-writer neighbor scatter.
+func Water(cores, scale int) Workload {
+	return waterKernel(cores, scale, false)
+}
+
+// waterKernel builds the molecule kernel; spatial selects the
+// water-spatial neighbor mapping (stride by a cell width) instead of
+// the next-molecule mapping. Both are bijections, so each accumulator
+// slot keeps a single writer.
+func waterKernel(cores, scale int, spatial bool) Workload {
+	perCore := int64(8)
+	mols := int64(cores) * perCore
+	steps := int64(scale + 1)
+	lay := NewLayout()
+	bar := lay.Barrier()
+	elock := lay.Lock()
+	energy := lay.AllocWords(1)
+	vals := lay.AllocWords(uint64(mols))
+	acc := lay.AllocWords(uint64(mols) * 4) // line-padded
+	pos := lay.AllocWords(uint64(mols) * 4) // per-molecule state vector
+	priv := lay.AllocWords(uint64(cores) * 64)
+
+	r := isa.R
+	b := isa.NewBuilder("water")
+	b.Li(r(16), steps)
+	b.Li(r(17), 0)
+	b.Li(r(21), perCore)
+	b.Li(r(22), mols)
+	b.Label("step")
+	b.Li(r(10), 0) // local energy accumulator for this step
+	b.Li(r(19), 0)
+	b.Label("mol")
+	b.Li(r(18), perCore)
+	b.Mul(r(18), RegTID, r(18))
+	b.Add(r(18), r(18), r(19)) // m
+	// v = vals[m]*2 + m; vals[m] = v
+	b.Slli(r(7), r(18), 3)
+	b.Li(rt0, int64(vals))
+	b.Add(r(7), r(7), rt0)
+	b.Ld(r(6), r(7), 0)
+	b.Slli(r(6), r(6), 1)
+	b.Add(r(6), r(6), r(18))
+	b.St(r(6), r(7), 0)
+	EmitCompute(b, 32)
+	EmitLocalWork(b, priv, 48) // intra-molecule force arithmetic
+	// Update the molecule's private state vector (store-dense compute).
+	b.Slli(r(8), r(18), 5) // m*4 words = m*32 bytes
+	b.Li(rt0, int64(pos))
+	b.Add(r(8), r(8), rt0)
+	b.Li(r(4), 0)
+	b.Label("posk")
+	b.Ld(r(9), r(8), 0)
+	b.Slli(r(9), r(9), 1)
+	b.Add(r(9), r(9), r(6))
+	b.St(r(9), r(8), 0)
+	b.Addi(r(8), r(8), 8)
+	b.Addi(r(4), r(4), 1)
+	b.Li(r(9), 4)
+	b.Bne(r(4), r(9), "posk")
+	b.Add(r(10), r(10), r(6)) // defer the global reduction to step end
+	// acc[neighbor(m)] += v (a bijection: single writer per slot).
+	if spatial {
+		b.Addi(r(8), r(18), 5) // stride by the spatial cell width
+	} else {
+		b.Addi(r(8), r(18), 1)
+	}
+	b.Blt(r(8), r(22), "nowrap")
+	b.Sub(r(8), r(8), r(22))
+	b.Label("nowrap")
+	b.Slli(r(8), r(8), 5)
+	b.Li(rt0, int64(acc))
+	b.Add(r(8), r(8), rt0)
+	b.Ld(r(9), r(8), 0)
+	b.Add(r(9), r(9), r(6))
+	b.St(r(9), r(8), 0)
+	b.Addi(r(19), r(19), 1)
+	b.Bne(r(19), r(21), "mol")
+	// Global energy reduction: once per thread per step, under a lock.
+	EmitLock(b, elock)
+	b.Li(r(8), int64(energy))
+	b.Ld(r(9), r(8), 0)
+	b.Add(r(9), r(9), r(10))
+	b.St(r(9), r(8), 0)
+	EmitUnlock(b, elock)
+	EmitBarrier(b, bar)
+	b.Addi(r(17), r(17), 1)
+	b.Bne(r(17), r(16), "step")
+	b.Halt()
+
+	init := make(map[uint64]uint64)
+	model := make([]uint64, mols)
+	for m := int64(0); m < mols; m++ {
+		model[m] = uint64(m%9 + 1)
+		init[vals+uint64(m)*8] = model[m]
+	}
+	var wantEnergy uint64
+	wantAcc := make([]uint64, mols)
+	wantPos := make([]uint64, mols*4)
+	for s := int64(0); s < steps; s++ {
+		for m := int64(0); m < mols; m++ {
+			v := model[m]*2 + uint64(m)
+			model[m] = v
+			for k := int64(0); k < 4; k++ {
+				wantPos[m*4+k] = wantPos[m*4+k]*2 + v
+			}
+			wantEnergy += v
+			nbr := (m + 1) % mols
+			if spatial {
+				nbr = (m + 5) % mols
+			}
+			wantAcc[nbr] += v
+		}
+	}
+	check := func(mem map[uint64]uint64) error {
+		if err := expect(mem, energy, wantEnergy, "water energy"); err != nil {
+			return err
+		}
+		for m := int64(0); m < mols; m++ {
+			if err := expect(mem, vals+uint64(m)*8, model[m], "water val"); err != nil {
+				return err
+			}
+			if err := expect(mem, acc+uint64(m)*32, wantAcc[m], "water acc"); err != nil {
+				return err
+			}
+			for k := int64(0); k < 4; k++ {
+				if err := expect(mem, pos+uint64(m*4+k)*8, wantPos[m*4+k], "water pos"); err != nil {
+					return err
+				}
+			}
+		}
+		if got := mem[elock]; got != 0 {
+			return fmt.Errorf("workload: water: energy lock left held")
+		}
+		return nil
+	}
+	return Workload{Name: "water", Progs: spmd(cores, b.MustBuild()), InitMem: init, Check: check}
+}
+
+// OceanNC is the non-contiguous ocean variant: rows are assigned
+// round-robin instead of in blocks, so every row boundary is shared
+// between different threads — the layout the SPLASH-2 paper uses to
+// show partitioning effects on communication.
+func OceanNC(cores, scale int) Workload {
+	w := oceanKernel(cores, scale, true)
+	w.Name = "ocean-nc"
+	return w
+}
+
+// WaterSp is the water-spatial variant: the neighbor-scatter target is
+// the molecule's spatial cell neighbor (a strided mapping) rather than
+// the next molecule, spreading the single-writer slots differently
+// across lines.
+func WaterSp(cores, scale int) Workload {
+	w := waterKernel(cores, scale, true)
+	w.Name = "water-sp"
+	return w
+}

@@ -1,0 +1,445 @@
+package workload
+
+import "relaxreplay/internal/isa"
+
+// Task-queue and lock-based kernels: barnes, cholesky, radiosity,
+// radix, raytrace, volrend. They share an atomic work counter (the
+// dominant SPLASH-2 self-scheduling idiom) and differ in how much
+// read-only data each task touches and which shared accumulators it
+// updates under locks — the axes that drive coherence traffic and
+// hence interval termination and reordered-access visibility.
+
+// emitFetchTask emits t = fetch_and_add(counter, 1) into dst and
+// branches to doneLabel when t >= ntasks (held in limit).
+func emitFetchTask(b *isa.Builder, counter uint64, dst, limit isa.Reg, loopTop, doneLabel string) {
+	b.Label(loopTop)
+	b.Li(rt2, int64(counter))
+	b.Li(rt0, 1)
+	b.AmoAdd(dst, rt0, rt2, 0, isa.FlagAcquire|isa.FlagRelease)
+	b.Bge(dst, limit, doneLabel)
+}
+
+// Barnes: tree build with per-cell locks (scattered locked updates),
+// then a read-mostly force pass over all cells.
+func Barnes(cores, scale int) Workload {
+	perCore := int64(8 * scale)
+	bodies := int64(cores) * perCore
+	const ncells = 32
+	lay := NewLayout()
+	bar := lay.Barrier()
+	vals := lay.AllocWords(uint64(bodies))
+	force := lay.AllocWords(uint64(bodies))
+	// Cell: lock, count, sum — each on its own line.
+	cellBase := lay.Alloc(ncells * 32)
+	priv := lay.AllocWords(uint64(cores) * 64)
+
+	r := isa.R
+	b := isa.NewBuilder("barnes")
+	b.Li(r(21), perCore)
+	// Phase 1: insert my bodies into cells under per-cell locks.
+	b.Li(r(19), 0)
+	b.Label("body1")
+	b.Li(r(18), perCore)
+	b.Mul(r(18), RegTID, r(18))
+	b.Add(r(18), r(18), r(19)) // body index m
+	b.Slli(r(7), r(18), 3)
+	b.Li(rt0, int64(vals))
+	b.Add(r(7), r(7), rt0)
+	b.Ld(r(6), r(7), 0) // v = vals[m]
+	EmitCompute(b, 24)
+	EmitLocalWork(b, priv, 48) // per-body local work (position integration)
+	// cell = v & 7; cellAddr = cellBase + cell*32
+	b.Andi(r(8), r(6), ncells-1)
+	b.Slli(r(8), r(8), 5)
+	b.Li(rt0, int64(cellBase))
+	b.Add(r(8), r(8), rt0)
+	EmitLockReg(b, r(8))
+	b.Ld(r(9), r(8), 8) // count
+	b.Addi(r(9), r(9), 1)
+	b.St(r(9), r(8), 8)
+	b.Ld(r(9), r(8), 16) // sum
+	b.Add(r(9), r(9), r(6))
+	b.St(r(9), r(8), 16)
+	EmitUnlockReg(b, r(8))
+	b.Addi(r(19), r(19), 1)
+	b.Bne(r(19), r(21), "body1")
+	EmitBarrier(b, bar)
+	// Phase 2: force[m] = vals[m] + sum over all cells of (count + sum).
+	b.Li(r(19), 0)
+	b.Label("body2")
+	b.Li(r(18), perCore)
+	b.Mul(r(18), RegTID, r(18))
+	b.Add(r(18), r(18), r(19))
+	EmitCompute(b, 24)
+	EmitLocalWork(b, priv, 48) // per-body local work (force integration)
+	b.Li(r(6), 0)
+	b.Li(r(4), 0)
+	b.Label("cells")
+	b.Slli(r(8), r(4), 5)
+	b.Li(rt0, int64(cellBase))
+	b.Add(r(8), r(8), rt0)
+	b.Ld(r(9), r(8), 8)
+	b.Add(r(6), r(6), r(9))
+	b.Ld(r(9), r(8), 16)
+	b.Add(r(6), r(6), r(9))
+	b.Addi(r(4), r(4), 1)
+	b.Li(r(9), ncells)
+	b.Bne(r(4), r(9), "cells")
+	b.Slli(r(7), r(18), 3)
+	b.Li(rt0, int64(vals))
+	b.Add(r(7), r(7), rt0)
+	b.Ld(r(9), r(7), 0)
+	b.Add(r(6), r(6), r(9))
+	b.Slli(r(7), r(18), 3)
+	b.Li(rt0, int64(force))
+	b.Add(r(7), r(7), rt0)
+	b.St(r(6), r(7), 0)
+	b.Addi(r(19), r(19), 1)
+	b.Bne(r(19), r(21), "body2")
+	b.Halt()
+
+	init := make(map[uint64]uint64)
+	bodyVal := make([]uint64, bodies)
+	for m := int64(0); m < bodies; m++ {
+		bodyVal[m] = uint64(m*11%97 + 1)
+		init[vals+uint64(m)*8] = bodyVal[m]
+	}
+	var cellCount, cellSum [ncells]uint64
+	for _, v := range bodyVal {
+		c := v & (ncells - 1)
+		cellCount[c]++
+		cellSum[c] += v
+	}
+	var total uint64
+	for c := 0; c < ncells; c++ {
+		total += cellCount[c] + cellSum[c]
+	}
+	check := func(mem map[uint64]uint64) error {
+		for c := 0; c < ncells; c++ {
+			a := cellBase + uint64(c)*32
+			if err := expect(mem, a+8, cellCount[c], "barnes cell count"); err != nil {
+				return err
+			}
+			if err := expect(mem, a+16, cellSum[c], "barnes cell sum"); err != nil {
+				return err
+			}
+		}
+		for m := int64(0); m < bodies; m++ {
+			if err := expect(mem, force+uint64(m)*8, total+bodyVal[m], "barnes force"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return Workload{Name: "barnes", Progs: spmd(cores, b.MustBuild()), InitMem: init, Check: check}
+}
+
+// taskQueueKernel is the shared skeleton: fetch tasks from an atomic
+// counter; per task, read `reads` words from a read-only table with a
+// task-dependent stride and write a result slot; optionally update a
+// locked shared accumulator.
+func taskQueueKernel(name string, cores, scale int, tableWords, reads int64,
+	lockedAccums int64) Workload {
+	ntasks := int64(cores) * 4 * int64(scale)
+	lay := NewLayout()
+	counter := lay.AllocWords(1)
+	table := lay.AllocWords(uint64(tableWords))
+	results := lay.AllocWords(uint64(ntasks) * 4) // line-padded result slots
+	scratch := lay.AllocWords(uint64(cores) * 16) // private per-thread accumulators
+	priv := lay.AllocWords(uint64(cores) * 64)    // private working set
+	var accBase uint64
+	if lockedAccums > 0 {
+		accBase = lay.Alloc(uint64(lockedAccums) * 32) // lock + value per line
+	}
+
+	r := isa.R
+	b := isa.NewBuilder(name)
+	b.Li(r(3), ntasks)
+	emitFetchTask(b, counter, r(4), r(3), "fetch", "done")
+	// acc = sum_{j<reads} table[(t*9 + j) mod tableWords]
+	b.Li(r(6), 0)
+	b.Li(r(5), 0)
+	b.Label("read")
+	b.Li(r(7), 9)
+	b.Mul(r(7), r(4), r(7))
+	b.Add(r(7), r(7), r(5))
+	b.Andi(r(7), r(7), tableWords-1) // tableWords is a power of two
+	b.Slli(r(7), r(7), 3)
+	b.Li(rt0, int64(table))
+	b.Add(r(7), r(7), rt0)
+	b.Ld(r(8), r(7), 0)
+	b.Add(r(6), r(6), r(8))
+	// Store-dense private accumulation, as real task bodies write
+	// intermediate results: scratch[tid*16 + (j&15)] += value.
+	b.Andi(r(10), r(5), 15)
+	b.Li(r(11), 16)
+	b.Mul(r(11), RegTID, r(11))
+	b.Add(r(10), r(10), r(11))
+	b.Slli(r(10), r(10), 3)
+	b.Li(rt0, int64(scratch))
+	b.Add(r(10), r(10), rt0)
+	b.Ld(r(11), r(10), 0)
+	b.Add(r(11), r(11), r(8))
+	b.St(r(11), r(10), 0)
+	b.Addi(r(5), r(5), 1)
+	b.Li(r(8), reads)
+	b.Bne(r(5), r(8), "read")
+	// Private compute and private-memory traffic dominating the task
+	// body, as in the real codes.
+	EmitCompute(b, 96)
+	EmitLocalWork(b, priv, 160)
+	// results[t] = acc + t (slots line-padded against false sharing)
+	b.Add(r(6), r(6), r(4))
+	b.Slli(r(7), r(4), 5)
+	b.Li(rt0, int64(results))
+	b.Add(r(7), r(7), rt0)
+	b.St(r(6), r(7), 0)
+	if lockedAccums > 0 {
+		// accum[t mod lockedAccums] += t + 1, under that slot's lock.
+		b.Andi(r(8), r(4), lockedAccums-1)
+		b.Slli(r(8), r(8), 5)
+		b.Li(rt0, int64(accBase))
+		b.Add(r(8), r(8), rt0)
+		EmitLockReg(b, r(8))
+		b.Ld(r(9), r(8), 8)
+		b.Add(r(9), r(9), r(4))
+		b.Addi(r(9), r(9), 1)
+		b.St(r(9), r(8), 8)
+		EmitUnlockReg(b, r(8))
+	}
+	b.Jmp("fetch")
+	b.Label("done")
+	b.Halt()
+
+	init := make(map[uint64]uint64)
+	tbl := make([]uint64, tableWords)
+	for i := range tbl {
+		tbl[i] = uint64(i*7 + 3)
+		init[table+uint64(i)*8] = tbl[i]
+	}
+	check := func(mem map[uint64]uint64) error {
+		accWant := make([]uint64, max64(lockedAccums, 1))
+		for t := int64(0); t < ntasks; t++ {
+			var sum uint64
+			for j := int64(0); j < reads; j++ {
+				sum += tbl[(t*9+j)&(tableWords-1)]
+			}
+			if err := expect(mem, results+uint64(t)*32, sum+uint64(t), name+" result"); err != nil {
+				return err
+			}
+			if lockedAccums > 0 {
+				accWant[t&(lockedAccums-1)] += uint64(t) + 1
+			}
+		}
+		if lockedAccums > 0 {
+			for a := int64(0); a < lockedAccums; a++ {
+				if err := expect(mem, accBase+uint64(a)*32+8, accWant[a], name+" accum"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return Workload{Name: name, Progs: spmd(cores, b.MustBuild()), InitMem: init, Check: check}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Cholesky: task queue over column updates with locked column
+// accumulators (moderate lock contention, modest read set).
+func Cholesky(cores, scale int) Workload {
+	return taskQueueKernel("cholesky", cores, scale, 32, 8, 4)
+}
+
+// Raytrace: work queue over a larger read-only scene; no locks beyond
+// the queue itself.
+func Raytrace(cores, scale int) Workload {
+	return taskQueueKernel("raytrace", cores, scale, 64, 16, 0)
+}
+
+// Radiosity: task queue whose tasks hammer a few locked patch
+// accumulators (high lock contention).
+func Radiosity(cores, scale int) Workload {
+	return taskQueueKernel("radiosity", cores, scale, 16, 4, 8)
+}
+
+// Volrend: work counter over a read-only volume with long strides and
+// purely private output (lowest sharing).
+func Volrend(cores, scale int) Workload {
+	return taskQueueKernel("volrend", cores, scale, 128, 24, 0)
+}
+
+// Radix: the SPLASH-2 radix sort's communication pattern: private
+// histograms, atomic global histogram accumulation, a serial prefix
+// phase, then an atomic-cursor scatter permutation.
+func Radix(cores, scale int) Workload {
+	perCore := int64(16 * scale)
+	keys := int64(cores) * perCore
+	const buckets = 16
+	lay := NewLayout()
+	bar := lay.Barrier()
+	keyBase := lay.AllocWords(uint64(keys))
+	lhist := lay.AllocWords(uint64(int64(cores) * buckets))
+	cursor := lay.AllocWords(buckets)
+	myCursor := lay.AllocWords(uint64(int64(cores) * buckets))
+	out := lay.AllocWords(uint64(keys))
+	priv := lay.AllocWords(uint64(cores) * 64)
+
+	r := isa.R
+	b := isa.NewBuilder("radix")
+	b.Li(r(21), perCore)
+	// Phase 1: private histogram of my keys.
+	b.Li(r(19), 0)
+	b.Label("hist")
+	b.Li(r(18), perCore)
+	b.Mul(r(18), RegTID, r(18))
+	b.Add(r(18), r(18), r(19))
+	b.Slli(r(7), r(18), 3)
+	b.Li(rt0, int64(keyBase))
+	b.Add(r(7), r(7), rt0)
+	b.Ld(r(6), r(7), 0)
+	EmitLocalWork(b, priv, 32) // digit extraction / local work
+	b.Andi(r(6), r(6), buckets-1)
+	// lhist[tid*buckets + digit]++
+	b.Li(r(8), buckets)
+	b.Mul(r(8), RegTID, r(8))
+	b.Add(r(8), r(8), r(6))
+	b.Slli(r(8), r(8), 3)
+	b.Li(rt0, int64(lhist))
+	b.Add(r(8), r(8), rt0)
+	b.Ld(r(9), r(8), 0)
+	b.Addi(r(9), r(9), 1)
+	b.St(r(9), r(8), 0)
+	b.Addi(r(19), r(19), 1)
+	b.Bne(r(19), r(21), "hist")
+	EmitBarrier(b, bar)
+	// Phase 2: thread 0 computes bucket start cursors serially.
+	b.Bne(RegTID, r(0), "skipprefix")
+	b.Li(r(5), 0) // bucket
+	b.Li(r(6), 0) // running total
+	b.Label("pfxb")
+	b.Slli(r(7), r(5), 3)
+	b.Li(rt0, int64(cursor))
+	b.Add(r(7), r(7), rt0)
+	b.St(r(6), r(7), 0) // cursor[b] = total
+	b.Li(r(4), 0)       // thread
+	b.Label("pfxt")
+	b.Li(r(8), buckets)
+	b.Mul(r(8), r(4), r(8))
+	b.Add(r(8), r(8), r(5))
+	b.Slli(r(8), r(8), 3)
+	b.Li(rt0, int64(lhist))
+	b.Add(r(8), r(8), rt0)
+	b.Ld(r(9), r(8), 0)
+	b.Add(r(6), r(6), r(9))
+	b.Addi(r(4), r(4), 1)
+	b.Bne(r(4), RegNCores, "pfxt")
+	b.Addi(r(5), r(5), 1)
+	b.Li(r(8), buckets)
+	b.Bne(r(5), r(8), "pfxb")
+	b.Label("skipprefix")
+	EmitBarrier(b, bar)
+	// Phase 3: compute my private per-bucket cursors: myCursor[b] =
+	// globalStart[b] + sum of earlier threads' histograms for b (the
+	// real SPLASH-2 radix rank computation; no atomics needed).
+	b.Li(r(5), 0) // bucket
+	b.Label("rankb")
+	b.Slli(r(7), r(5), 3)
+	b.Li(rt0, int64(cursor))
+	b.Add(r(7), r(7), rt0)
+	b.Ld(r(6), r(7), 0) // global start
+	b.Li(r(4), 0)       // earlier threads
+	b.Label("rankt")
+	b.Bge(r(4), RegTID, "rankdone")
+	b.Li(r(8), buckets)
+	b.Mul(r(8), r(4), r(8))
+	b.Add(r(8), r(8), r(5))
+	b.Slli(r(8), r(8), 3)
+	b.Li(rt0, int64(lhist))
+	b.Add(r(8), r(8), rt0)
+	b.Ld(r(9), r(8), 0)
+	b.Add(r(6), r(6), r(9))
+	b.Addi(r(4), r(4), 1)
+	b.Jmp("rankt")
+	b.Label("rankdone")
+	// myCursor[tid*buckets + b] = r6 (private slice of a padded array)
+	b.Li(r(8), buckets)
+	b.Mul(r(8), RegTID, r(8))
+	b.Add(r(8), r(8), r(5))
+	b.Slli(r(8), r(8), 3)
+	b.Li(rt0, int64(myCursor))
+	b.Add(r(8), r(8), rt0)
+	b.St(r(6), r(8), 0)
+	b.Addi(r(5), r(5), 1)
+	b.Li(r(8), buckets)
+	b.Bne(r(5), r(8), "rankb")
+	// Scatter my keys at exactly-known positions.
+	b.Li(r(19), 0)
+	b.Label("scatter")
+	b.Li(r(18), perCore)
+	b.Mul(r(18), RegTID, r(18))
+	b.Add(r(18), r(18), r(19))
+	b.Slli(r(7), r(18), 3)
+	b.Li(rt0, int64(keyBase))
+	b.Add(r(7), r(7), rt0)
+	b.Ld(r(6), r(7), 0) // key
+	EmitLocalWork(b, priv, 32)
+	b.Andi(r(8), r(6), buckets-1)
+	// pos = myCursor[tid*buckets+digit]++
+	b.Li(r(9), buckets)
+	b.Mul(r(9), RegTID, r(9))
+	b.Add(r(9), r(9), r(8))
+	b.Slli(r(9), r(9), 3)
+	b.Li(rt0, int64(myCursor))
+	b.Add(r(9), r(9), rt0)
+	b.Ld(r(8), r(9), 0)
+	b.Addi(r(10), r(8), 1)
+	b.St(r(10), r(9), 0)
+	b.Slli(r(8), r(8), 3)
+	b.Li(rt0, int64(out))
+	b.Add(r(8), r(8), rt0)
+	b.St(r(6), r(8), 0)
+	b.Addi(r(19), r(19), 1)
+	b.Bne(r(19), r(21), "scatter")
+	b.Halt()
+
+	init := make(map[uint64]uint64)
+	keyVals := make([]uint64, keys)
+	var hist [buckets]uint64
+	for i := int64(0); i < keys; i++ {
+		keyVals[i] = uint64((i*2654435761+12345)%4096) + 1
+		init[keyBase+uint64(i)*8] = keyVals[i]
+		hist[keyVals[i]&(buckets-1)]++
+	}
+	var starts [buckets + 1]uint64
+	for bkt := 0; bkt < buckets; bkt++ {
+		starts[bkt+1] = starts[bkt] + hist[bkt]
+	}
+	// The rank computation makes output positions exact: keys of one
+	// bucket appear grouped by owning thread, in each thread's key order.
+	wantOut := make([]uint64, keys)
+	cursors := make([]uint64, buckets)
+	copy(cursors, starts[:buckets])
+	for t := int64(0); t < int64(cores); t++ {
+		for i := int64(0); i < perCore; i++ {
+			k := keyVals[t*perCore+i]
+			d := k & (buckets - 1)
+			wantOut[cursors[d]] = k
+			cursors[d]++
+		}
+	}
+	check := func(mem map[uint64]uint64) error {
+		for i := int64(0); i < keys; i++ {
+			if err := expect(mem, out+uint64(i)*8, wantOut[i], "radix out"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return Workload{Name: "radix", Progs: spmd(cores, b.MustBuild()), InitMem: init, Check: check}
+}

@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"fmt"
+
+	"relaxreplay/internal/isa"
+)
+
+// Litmus tests: the classic relaxed-memory shapes. Each two-to-four
+// thread test writes its observed registers to distinct result words,
+// and Outcome extracts them. They demonstrate (and let tests assert)
+// that the simulated RC machine really reorders accesses — and that
+// RelaxReplay reproduces whichever outcome was recorded.
+
+// Litmus is a named litmus workload plus the result addresses.
+type Litmus struct {
+	Workload
+	ResultAddrs []uint64
+	// Allowed are the architecturally-allowed outcomes under RC (for
+	// documentation and assertions; SC would forbid some of them).
+	Allowed [][]uint64
+	// SCForbidden is an outcome RC permits but SC forbids, when the
+	// test has one.
+	SCForbidden []uint64
+}
+
+// Outcome extracts the observed result vector from a final memory image.
+func (l *Litmus) Outcome(mem map[uint64]uint64) []uint64 {
+	out := make([]uint64, len(l.ResultAddrs))
+	for i, a := range l.ResultAddrs {
+		out[i] = mem[a]
+	}
+	return out
+}
+
+// StoreBuffering: Dekker's pattern. Under RC both loads may bypass the
+// stores and read 0,0 — impossible under SC.
+func StoreBuffering() Litmus {
+	lay := NewLayout()
+	x := lay.AllocWords(1)
+	y := lay.AllocWords(1)
+	r0 := lay.AllocWords(1)
+	r1 := lay.AllocWords(1)
+	mk := func(name string, mine, other, res uint64) isa.Program {
+		b := isa.NewBuilder(name)
+		b.Li(isa.R(3), int64(mine))
+		b.Li(isa.R(4), int64(other))
+		b.Li(isa.R(5), 1)
+		b.St(isa.R(5), isa.R(3), 0)
+		b.Ld(isa.R(6), isa.R(4), 0)
+		b.Li(isa.R(7), int64(res))
+		b.Addi(isa.R(6), isa.R(6), 1) // bias so "read 0" is distinguishable
+		b.St(isa.R(6), isa.R(7), 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+	return Litmus{
+		Workload: Workload{
+			Name:  "sb",
+			Progs: []isa.Program{mk("sb0", x, y, r0), mk("sb1", y, x, r1)},
+		},
+		ResultAddrs: []uint64{r0, r1},
+		Allowed:     [][]uint64{{1, 1}, {1, 2}, {2, 1}, {2, 2}},
+		SCForbidden: []uint64{1, 1},
+	}
+}
+
+// MessagePassing without ordering: the consumer may observe the flag
+// before the data under RC. With acquire/release (ordered=true) the
+// stale-data outcome is forbidden.
+func MessagePassing(ordered bool) Litmus {
+	lay := NewLayout()
+	data := lay.AllocWords(1)
+	flag := lay.AllocWords(1)
+	r0 := lay.AllocWords(1)
+	name := "mp"
+	if ordered {
+		name = "mp+acqrel"
+	}
+
+	p := isa.NewBuilder(name + "-producer")
+	p.Li(isa.R(3), int64(data))
+	p.Li(isa.R(4), int64(flag))
+	p.Li(isa.R(5), 42)
+	p.St(isa.R(5), isa.R(3), 0)
+	p.Li(isa.R(6), 1)
+	if ordered {
+		p.StRel(isa.R(6), isa.R(4), 0)
+	} else {
+		p.St(isa.R(6), isa.R(4), 0)
+	}
+	p.Halt()
+
+	c := isa.NewBuilder(name + "-consumer")
+	c.Li(isa.R(3), int64(data))
+	c.Li(isa.R(4), int64(flag))
+	c.Label("spin")
+	if ordered {
+		c.LdAcq(isa.R(5), isa.R(4), 0)
+	} else {
+		c.Ld(isa.R(5), isa.R(4), 0)
+	}
+	c.Beq(isa.R(5), isa.R(0), "spin")
+	c.Ld(isa.R(6), isa.R(3), 0)
+	c.Li(isa.R(7), int64(r0))
+	c.St(isa.R(6), isa.R(7), 0)
+	c.Halt()
+
+	allowed := [][]uint64{{42}}
+	if !ordered {
+		allowed = append(allowed, []uint64{0})
+	}
+	return Litmus{
+		Workload: Workload{
+			Name:  name,
+			Progs: []isa.Program{p.MustBuild(), c.MustBuild()},
+		},
+		ResultAddrs: []uint64{r0},
+		Allowed:     allowed,
+	}
+}
+
+// CoRR: coherence read-read — two loads of the same location by one
+// thread must not observe values in reverse write order. All models
+// (including RC) require this; the oracle asserts it.
+func CoRR() Litmus {
+	lay := NewLayout()
+	x := lay.AllocWords(1)
+	r0 := lay.AllocWords(1)
+	r1 := lay.AllocWords(1)
+
+	w := isa.NewBuilder("corr-writer")
+	w.Li(isa.R(3), int64(x))
+	w.Li(isa.R(4), 1)
+	w.St(isa.R(4), isa.R(3), 0)
+	w.Li(isa.R(4), 2)
+	w.St(isa.R(4), isa.R(3), 0)
+	w.Halt()
+
+	rd := isa.NewBuilder("corr-reader")
+	rd.Li(isa.R(3), int64(x))
+	rd.Ld(isa.R(5), isa.R(3), 0)
+	rd.Ld(isa.R(6), isa.R(3), 0)
+	rd.Li(isa.R(7), int64(r0))
+	rd.St(isa.R(5), isa.R(7), 0)
+	rd.Li(isa.R(7), int64(r1))
+	rd.St(isa.R(6), isa.R(7), 0)
+	rd.Halt()
+
+	check := func(mem map[uint64]uint64) error {
+		a, b := mem[r0], mem[r1]
+		if a > b {
+			return fmt.Errorf("workload: CoRR violated: read %d then %d", a, b)
+		}
+		return nil
+	}
+	return Litmus{
+		Workload: Workload{
+			Name:  "corr",
+			Progs: []isa.Program{w.MustBuild(), rd.MustBuild()},
+			Check: check,
+		},
+		ResultAddrs: []uint64{r0, r1},
+		Allowed:     [][]uint64{{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}},
+	}
+}
+
+// IRIW: independent reads of independent writes. Cores 0 and 1 write x
+// and y; cores 2 and 3 each read both in opposite orders (separated by
+// fences so the reads stay ordered). The outcome where the readers
+// disagree about the write order — r2 sees x before y while r3 sees y
+// before x — requires non-atomic writes; coherence substrates with
+// write atomicity (ours, and everything RelaxReplay supports) forbid it.
+func IRIW() Litmus {
+	lay := NewLayout()
+	x := lay.AllocWords(1)
+	y := lay.AllocWords(1)
+	res := lay.AllocWords(4) // r2: saw-x, saw-y; r3: saw-y, saw-x
+
+	writer := func(name string, addr uint64) isa.Program {
+		b := isa.NewBuilder(name)
+		b.Li(isa.R(3), int64(addr))
+		b.Li(isa.R(4), 1)
+		b.St(isa.R(4), isa.R(3), 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+	reader := func(name string, first, second uint64, resBase uint64) isa.Program {
+		b := isa.NewBuilder(name)
+		b.Li(isa.R(3), int64(first))
+		b.Li(isa.R(4), int64(second))
+		b.Ld(isa.R(5), isa.R(3), 0)
+		b.Fence()
+		b.Ld(isa.R(6), isa.R(4), 0)
+		b.Li(isa.R(7), int64(resBase))
+		b.St(isa.R(5), isa.R(7), 0)
+		b.St(isa.R(6), isa.R(7), 8)
+		b.Halt()
+		return b.MustBuild()
+	}
+	check := func(mem map[uint64]uint64) error {
+		// Forbidden: reader2 saw x=1 then y=0 AND reader3 saw y=1 then x=0.
+		if mem[res] == 1 && mem[res+8] == 0 && mem[res+16] == 1 && mem[res+24] == 0 {
+			return fmt.Errorf("workload: IRIW: write atomicity violated (readers disagree on write order)")
+		}
+		return nil
+	}
+	return Litmus{
+		Workload: Workload{
+			Name: "iriw",
+			Progs: []isa.Program{
+				writer("iriw-wx", x), writer("iriw-wy", y),
+				reader("iriw-r2", x, y, res), reader("iriw-r3", y, x, res+16),
+			},
+			Check: check,
+		},
+		ResultAddrs: []uint64{res, res + 8, res + 16, res + 24},
+		Allowed: [][]uint64{
+			{0, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}, {0, 0, 1, 1},
+			{0, 1, 0, 0}, {0, 1, 0, 1}, {0, 1, 1, 0}, {0, 1, 1, 1},
+			{1, 0, 0, 0}, {1, 0, 0, 1}, {1, 0, 1, 1},
+			{1, 1, 0, 0}, {1, 1, 0, 1}, {1, 1, 1, 0}, {1, 1, 1, 1},
+		},
+	}
+}
+
+// WRC: write-to-read causality. Core 0 writes data; core 1 reads it
+// and (release-)publishes a flag; core 2 acquires the flag and must
+// then see the data — causality through two cores, guaranteed by write
+// atomicity plus acquire/release.
+func WRC() Litmus {
+	lay := NewLayout()
+	data := lay.AllocWords(1)
+	flag := lay.AllocWords(1)
+	res := lay.AllocWords(1)
+
+	p0 := isa.NewBuilder("wrc-w")
+	p0.Li(isa.R(3), int64(data))
+	p0.Li(isa.R(4), 1)
+	p0.St(isa.R(4), isa.R(3), 0)
+	p0.Halt()
+
+	p1 := isa.NewBuilder("wrc-fwd")
+	p1.Li(isa.R(3), int64(data))
+	p1.Li(isa.R(4), int64(flag))
+	p1.Label("spin")
+	p1.Ld(isa.R(5), isa.R(3), 0)
+	p1.Beq(isa.R(5), isa.R(0), "spin")
+	p1.Li(isa.R(6), 1)
+	p1.StRel(isa.R(6), isa.R(4), 0)
+	p1.Halt()
+
+	p2 := isa.NewBuilder("wrc-r")
+	p2.Li(isa.R(3), int64(data))
+	p2.Li(isa.R(4), int64(flag))
+	p2.Label("spin")
+	p2.LdAcq(isa.R(5), isa.R(4), 0)
+	p2.Beq(isa.R(5), isa.R(0), "spin")
+	p2.Ld(isa.R(6), isa.R(3), 0)
+	p2.Li(isa.R(7), int64(res))
+	p2.St(isa.R(6), isa.R(7), 0)
+	p2.Halt()
+
+	check := func(mem map[uint64]uint64) error {
+		if mem[res] != 1 {
+			return fmt.Errorf("workload: WRC: causality violated (read %d, want 1)", mem[res])
+		}
+		return nil
+	}
+	return Litmus{
+		Workload: Workload{
+			Name:  "wrc",
+			Progs: []isa.Program{p0.MustBuild(), p1.MustBuild(), p2.MustBuild()},
+			Check: check,
+		},
+		ResultAddrs: []uint64{res},
+		Allowed:     [][]uint64{{1}},
+	}
+}
+
+// AllLitmus returns the litmus suite.
+func AllLitmus() []Litmus {
+	return []Litmus{
+		StoreBuffering(), MessagePassing(false), MessagePassing(true),
+		CoRR(), IRIW(), WRC(),
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+func outcomeAllowed(l *Litmus, got []uint64) bool {
+	for _, a := range l.Allowed {
+		match := true
+		for i := range a {
+			if a[i] != got[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLitmusOutcomesAllowed(t *testing.T) {
+	for _, l := range AllLitmus() {
+		l := l
+		t.Run(l.Name, func(t *testing.T) {
+			m := runKernel(t, l.Workload)
+			got := l.Outcome(m.FinalMemory())
+			if !outcomeAllowed(&l, got) {
+				t.Fatalf("%s: outcome %v not in allowed set %v", l.Name, got, l.Allowed)
+			}
+		})
+	}
+}
+
+func TestStoreBufferingShowsNonSCOutcome(t *testing.T) {
+	// With symmetric timing both stores sit in write buffers while the
+	// loads perform: the SC-forbidden outcome appears.
+	l := StoreBuffering()
+	m := runKernel(t, l.Workload)
+	got := l.Outcome(m.FinalMemory())
+	if fmt.Sprint(got) != fmt.Sprint(l.SCForbidden) {
+		t.Fatalf("expected the SC-forbidden outcome %v, got %v", l.SCForbidden, got)
+	}
+}
+
+func TestOrderedMessagePassingNeverStale(t *testing.T) {
+	l := MessagePassing(true)
+	m := runKernel(t, l.Workload)
+	if got := l.Outcome(m.FinalMemory()); got[0] != 42 {
+		t.Fatalf("acquire/release MP read stale data: %v", got)
+	}
+}

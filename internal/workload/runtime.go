@@ -1,0 +1,189 @@
+// Package workload provides the benchmark programs the evaluation
+// runs: a synchronization runtime (spinlocks and sense-reversing
+// barriers built from the ISA's atomics and acquire/release
+// operations), kernels that reproduce the sharing and synchronization
+// patterns of the SPLASH-2 applications the paper evaluates (see
+// DESIGN.md for the substitution argument), and the classic
+// relaxed-memory litmus tests.
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"relaxreplay/internal/isa"
+)
+
+// Register conventions. The machine preloads R1 = core id and
+// R2 = core count; the runtime helpers scratch R24-R29 and kernels use
+// R3-R23 freely.
+const (
+	RegTID    = isa.Reg(1)
+	RegNCores = isa.Reg(2)
+
+	rt0 = isa.Reg(24)
+	rt1 = isa.Reg(25)
+	rt2 = isa.Reg(26)
+	rt3 = isa.Reg(27)
+)
+
+// Layout is a bump allocator for the shared address space, keeping
+// unrelated structures on separate cache lines.
+type Layout struct{ next uint64 }
+
+// NewLayout starts allocation at a fixed base.
+func NewLayout() *Layout { return &Layout{next: 0x1000} }
+
+// Alloc reserves n bytes aligned to a cache line and returns the base.
+func (l *Layout) Alloc(n uint64) uint64 {
+	const line = 32
+	l.next = (l.next + line - 1) &^ (line - 1)
+	base := l.next
+	l.next += n
+	return base
+}
+
+// AllocWords reserves n 8-byte words.
+func (l *Layout) AllocWords(n uint64) uint64 { return l.Alloc(n * 8) }
+
+// Lock reserves a one-line spinlock and returns its address.
+func (l *Layout) Lock() uint64 { return l.Alloc(8) }
+
+// Barrier reserves a barrier (count word + generation word).
+func (l *Layout) Barrier() uint64 { return l.Alloc(16) }
+
+// label produces unique labels for inlined runtime code.
+var labelCounter atomic.Int64
+
+func uniq(prefix string) string {
+	return fmt.Sprintf("%s.%d", prefix, labelCounter.Add(1))
+}
+
+// emitBackoff emits a short delay loop used while spinning, so that
+// spin-waiting does not hammer the memory system (and does not swamp
+// the workload's memory-instruction mix), as real spinlock
+// implementations do. Scratches reg.
+func emitBackoff(b *isa.Builder, reg isa.Reg, iters int64) {
+	top := uniq("bo")
+	b.Li(reg, iters)
+	b.Label(top)
+	b.Addi(reg, reg, -1)
+	b.Bne(reg, isa.R(0), top)
+}
+
+// EmitLock emits a test-and-test-and-set acquisition (with backoff) of
+// the spinlock at address lock. Scratches rt0-rt3.
+func EmitLock(b *isa.Builder, lock uint64) {
+	top := uniq("lk")
+	retry := uniq("lk.retry")
+	b.Li(rt2, int64(lock))
+	b.Jmp(top)
+	b.Label(retry)
+	emitBackoff(b, rt3, 12)
+	b.Label(top)
+	b.Ld(rt0, rt2, 0) // test before test-and-set
+	b.Bne(rt0, isa.R(0), retry)
+	b.Li(rt1, 1)
+	b.Mov(rt0, isa.R(0))
+	b.Cas(rt0, rt1, rt2, 0, isa.FlagAcquire)
+	b.Bne(rt0, isa.R(0), retry)
+}
+
+// EmitUnlock emits the release of the spinlock at address lock.
+func EmitUnlock(b *isa.Builder, lock uint64) {
+	b.Li(rt2, int64(lock))
+	b.StRel(isa.R(0), rt2, 0)
+}
+
+// EmitBarrier emits a centralized sense-reversing barrier over the
+// two-word barrier at address bar (count at +0, generation at +8).
+// Scratches rt0-rt3.
+func EmitBarrier(b *isa.Builder, bar uint64) {
+	wait := uniq("bar.wait")
+	spin := uniq("bar.spin")
+	done := uniq("bar.done")
+	b.Li(rt3, int64(bar))
+	b.Ld(rt2, rt3, 8) // my generation (ordered before the add: the
+	// atomic executes non-speculatively at the ROB head)
+	b.Li(rt0, 1)
+	b.AmoAdd(rt1, rt0, rt3, 0, isa.FlagAcquire|isa.FlagRelease)
+	b.Addi(rt1, rt1, 1)
+	b.Bne(rt1, RegNCores, wait)
+	// Last arriver: reset the count, then publish the new generation.
+	b.St(isa.R(0), rt3, 0)
+	b.Addi(rt2, rt2, 1)
+	b.StRel(rt2, rt3, 8)
+	b.Jmp(done)
+	b.Label(wait)
+	b.Label(spin)
+	b.LdAcq(rt0, rt3, 8)
+	b.Bne(rt0, rt2, done)
+	emitBackoff(b, rt0, 12)
+	b.Jmp(spin)
+	b.Label(done)
+}
+
+// EmitAtomicAdd emits an unconditional fetch-and-add of reg to the
+// word at address addr. Scratches rt2.
+func EmitAtomicAdd(b *isa.Builder, addr uint64, val isa.Reg, old isa.Reg) {
+	b.Li(rt2, int64(addr))
+	b.AmoAdd(old, val, rt2, 0, isa.FlagAcquire|isa.FlagRelease)
+}
+
+// EmitLockReg acquires the spinlock whose address is in reg addr
+// (which must not be rt0, rt1 or rt3). Scratches rt0, rt1 and rt3.
+func EmitLockReg(b *isa.Builder, addr isa.Reg) {
+	top := uniq("lkr")
+	retry := uniq("lkr.retry")
+	b.Jmp(top)
+	b.Label(retry)
+	emitBackoff(b, rt3, 12)
+	b.Label(top)
+	b.Ld(rt0, addr, 0)
+	b.Bne(rt0, isa.R(0), retry)
+	b.Li(rt1, 1)
+	b.Mov(rt0, isa.R(0))
+	b.Cas(rt0, rt1, addr, 0, isa.FlagAcquire)
+	b.Bne(rt0, isa.R(0), retry)
+}
+
+// EmitUnlockReg releases the spinlock whose address is in reg addr.
+func EmitUnlockReg(b *isa.Builder, addr isa.Reg) {
+	b.StRel(isa.R(0), addr, 0)
+}
+
+// EmitCompute emits a private ALU delay loop of 3*iters instructions,
+// standing in for the local computation that dominates real SPLASH-2
+// phases between shared-memory interactions. Scratches rt3.
+func EmitCompute(b *isa.Builder, iters int64) {
+	top := uniq("cmp")
+	b.Li(rt3, iters)
+	b.Label(top)
+	b.Addi(rt3, rt3, -1)
+	b.Bne(rt3, isa.R(0), top)
+}
+
+// EmitLocalWork emits a private memory-compute loop: iters iterations
+// of a load-modify-store over the calling thread's 8-word slice of the
+// scratch area at priv (which must hold at least 64*8 bytes per core).
+// This models the private-data traffic that dominates real SPLASH-2
+// execution between shared-memory interactions; the accesses hit the
+// local L1 after warmup and cause no coherence traffic. Each iteration
+// is 7 instructions, 2 of them memory accesses. Scratches rt0-rt3.
+func EmitLocalWork(b *isa.Builder, priv uint64, iters int64) {
+	top := uniq("lw")
+	b.Li(rt0, 512)
+	b.Mul(rt0, RegTID, rt0)
+	b.Li(rt1, int64(priv))
+	b.Add(rt0, rt0, rt1) // my private base
+	b.Li(rt3, iters)
+	b.Label(top)
+	b.Andi(rt1, rt3, 7)
+	b.Slli(rt1, rt1, 3)
+	b.Add(rt1, rt1, rt0)
+	b.Ld(rt2, rt1, 0)
+	b.Add(rt2, rt2, rt3)
+	b.St(rt2, rt1, 0)
+	b.Addi(rt3, rt3, -1)
+	b.Bne(rt3, isa.R(0), top)
+}

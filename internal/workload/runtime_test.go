@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"relaxreplay/internal/isa"
+)
+
+// TestBarrierRounds: every thread increments a per-round slot between
+// barriers; a barrier bug (a thread racing a round ahead) would let
+// increments from different rounds interleave and corrupt the counts.
+func TestBarrierRounds(t *testing.T) {
+	const cores, rounds = 4, 6
+	lay := NewLayout()
+	bar := lay.Barrier()
+	slots := lay.AllocWords(rounds)
+
+	b := isa.NewBuilder("barrier-rounds")
+	b.Li(isa.R(3), 0) // round
+	b.Li(isa.R(4), rounds)
+	b.Label("round")
+	// slot[round] += 1 + current value of slot[round-1]*0 (read it to
+	// create cross-round visibility requirements).
+	b.Slli(isa.R(7), isa.R(3), 3)
+	b.Li(isa.R(8), int64(slots))
+	b.Add(isa.R(7), isa.R(7), isa.R(8))
+	EmitLock(b, lay.next+0x100) // a scratch lock far from other data
+	b.Ld(isa.R(9), isa.R(7), 0)
+	b.Addi(isa.R(9), isa.R(9), 1)
+	b.St(isa.R(9), isa.R(7), 0)
+	EmitUnlock(b, lay.next+0x100)
+	EmitBarrier(b, bar)
+	b.Addi(isa.R(3), isa.R(3), 1)
+	b.Bne(isa.R(3), isa.R(4), "round")
+	b.Halt()
+
+	w := Workload{Name: "barrier-rounds", Progs: spmd(cores, b.MustBuild())}
+	m := runKernel(t, w)
+	for r := 0; r < rounds; r++ {
+		if got := m.FinalMemory()[slots+uint64(r)*8]; got != cores {
+			t.Fatalf("round %d slot = %d, want %d", r, got, cores)
+		}
+	}
+}
+
+// TestLockMutualExclusion: unprotected read-modify-write under the
+// runtime lock must never lose updates, at any contention level.
+func TestLockMutualExclusion(t *testing.T) {
+	for _, cores := range []int{2, 4, 8} {
+		t.Run(fmt.Sprint(cores), func(t *testing.T) {
+			const iters = 20
+			lay := NewLayout()
+			lock := lay.Lock()
+			ctr := lay.AllocWords(1)
+			b := isa.NewBuilder("mutex")
+			b.Li(isa.R(3), 0)
+			b.Li(isa.R(4), iters)
+			b.Label("loop")
+			EmitLock(b, lock)
+			b.Li(isa.R(7), int64(ctr))
+			b.Ld(isa.R(8), isa.R(7), 0)
+			b.Addi(isa.R(8), isa.R(8), 1)
+			b.St(isa.R(8), isa.R(7), 0)
+			EmitUnlock(b, lock)
+			b.Addi(isa.R(3), isa.R(3), 1)
+			b.Bne(isa.R(3), isa.R(4), "loop")
+			b.Halt()
+			m := runKernel(t, Workload{Name: "mutex", Progs: spmd(cores, b.MustBuild())})
+			if got := m.FinalMemory()[ctr]; got != uint64(cores*iters) {
+				t.Fatalf("counter = %d, want %d", got, cores*iters)
+			}
+			if got := m.FinalMemory()[lock]; got != 0 {
+				t.Fatalf("lock left held: %d", got)
+			}
+		})
+	}
+}
+
+// TestLockRegMutualExclusion exercises the register-addressed variant.
+func TestLockRegMutualExclusion(t *testing.T) {
+	lay := NewLayout()
+	lockBase := lay.Alloc(4 * 32) // 4 line-separated locks
+	ctrs := lay.AllocWords(4)
+	b := isa.NewBuilder("mutexreg")
+	b.Li(isa.R(3), 0)
+	b.Li(isa.R(4), 16)
+	b.Label("loop")
+	b.Andi(isa.R(5), isa.R(3), 3) // lock index
+	b.Slli(isa.R(6), isa.R(5), 5)
+	b.Li(isa.R(7), int64(lockBase))
+	b.Add(isa.R(6), isa.R(6), isa.R(7))
+	EmitLockReg(b, isa.R(6))
+	b.Slli(isa.R(8), isa.R(5), 3)
+	b.Li(isa.R(7), int64(ctrs))
+	b.Add(isa.R(8), isa.R(8), isa.R(7))
+	b.Ld(isa.R(9), isa.R(8), 0)
+	b.Addi(isa.R(9), isa.R(9), 1)
+	b.St(isa.R(9), isa.R(8), 0)
+	EmitUnlockReg(b, isa.R(6))
+	b.Addi(isa.R(3), isa.R(3), 1)
+	b.Bne(isa.R(3), isa.R(4), "loop")
+	b.Halt()
+	m := runKernel(t, Workload{Name: "mutexreg", Progs: spmd(3, b.MustBuild())})
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += m.FinalMemory()[ctrs+uint64(i)*8]
+	}
+	if total != 3*16 {
+		t.Fatalf("total = %d, want 48", total)
+	}
+}
+
+// TestEmitLocalWorkIsPrivate: two cores running local work must not
+// disturb each other's slices.
+func TestEmitLocalWorkIsPrivate(t *testing.T) {
+	lay := NewLayout()
+	priv := lay.AllocWords(2 * 64)
+	b := isa.NewBuilder("localwork")
+	EmitLocalWork(b, priv, 40)
+	b.Halt()
+	m := runKernel(t, Workload{Name: "localwork", Progs: spmd(2, b.MustBuild())})
+	// Both cores' slices must hold identical values (same program,
+	// disjoint memory): compare word for word.
+	for w := uint64(0); w < 8; w++ {
+		a := m.FinalMemory()[priv+w*8]
+		c := m.FinalMemory()[priv+512+w*8]
+		if a != c {
+			t.Fatalf("word %d: core0=%d core1=%d (interference)", w, a, c)
+		}
+	}
+}
+
+func TestUniqLabelsAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		l := uniq("x")
+		if seen[l] {
+			t.Fatalf("duplicate label %q", l)
+		}
+		seen[l] = true
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"relaxreplay/internal/isa"
+)
+
+// Workload is a ready-to-record multithreaded program: one program per
+// core (SPMD — all cores run the same code, parameterized by the
+// preloaded core-id register), initial memory, optional input streams,
+// and an optional correctness oracle over the final memory image.
+type Workload struct {
+	Name    string
+	Progs   []isa.Program
+	Inputs  [][]uint64
+	InitMem map[uint64]uint64
+	Check   func(mem map[uint64]uint64) error
+}
+
+// spmd replicates one program across all cores.
+func spmd(cores int, p isa.Program) []isa.Program {
+	out := make([]isa.Program, cores)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+// Kernel is a named workload generator. Scale controls problem size;
+// scale 1 targets tens of thousands of instructions across 8 cores so
+// the full evaluation stays fast.
+type Kernel struct {
+	Name        string
+	Description string
+	Build       func(cores, scale int) Workload
+}
+
+// Kernels returns the SPLASH-2 analog suite in the paper's order.
+func Kernels() []Kernel {
+	ks := []Kernel{
+		{"barnes", "tree build with per-cell locks, then read-mostly force pass", Barnes},
+		{"cholesky", "task queue over column updates with per-column locks", Cholesky},
+		{"fft", "barrier-phased all-to-all transpose reduction", FFT},
+		{"fmm", "irregular neighbor reads with barrier-phased steps", FMM},
+		{"lu", "owner-computes pivot column broadcast with barriers", LU},
+		{"ocean", "row-partitioned stencil with neighbor boundary sharing", Ocean},
+		{"ocean-nc", "non-contiguous ocean: round-robin rows, all boundaries shared", OceanNC},
+		{"radiosity", "task queue with lock-protected patch accumulators", Radiosity},
+		{"radix", "histogram + atomic scatter permutation sort", Radix},
+		{"raytrace", "work queue over a read-only scene", Raytrace},
+		{"volrend", "work counter over read-only volume, private output", Volrend},
+		{"water", "per-step local compute with locked neighbor accumulation", Water},
+		{"water-sp", "water with spatial-cell neighbor scatter", WaterSp},
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Name < ks[j].Name })
+	return ks
+}
+
+// ByName looks up a kernel.
+func ByName(name string) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("workload: unknown kernel %q", name)
+}
+
+// expect formats a mismatch error for Check oracles.
+func expect(mem map[uint64]uint64, addr, want uint64, what string) error {
+	if got := mem[addr]; got != want {
+		return fmt.Errorf("workload: %s: mem[%#x] = %d, want %d", what, addr, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+
+	"relaxreplay/internal/machine"
+)
+
+// runKernel executes a workload on the simulated multicore and applies
+// its oracle. These tests double as whole-simulator validation: every
+// kernel's final memory must match its sequential Go model exactly.
+func runKernel(t *testing.T, w Workload) *machine.Machine {
+	t.Helper()
+	cfg := machine.DefaultConfig(len(w.Progs))
+	cfg.MaxCycles = 50_000_000
+	m := machine.New(cfg, w.Progs, nil)
+	m.InitMemory(w.InitMem)
+	for i, in := range w.Inputs {
+		m.SetInputs(i, in)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if w.Check != nil {
+		if err := w.Check(m.FinalMemory()); err != nil {
+			t.Fatalf("%s oracle: %v", w.Name, err)
+		}
+	}
+	return m
+}
+
+func TestAllKernelsPassOracles(t *testing.T) {
+	for _, k := range Kernels() {
+		for _, cores := range []int{2, 4} {
+			k := k
+			t.Run(k.Name, func(t *testing.T) {
+				runKernel(t, k.Build(cores, 1))
+			})
+		}
+	}
+}
+
+func TestKernelsAt8CoresScale2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			runKernel(t, k.Build(8, 2))
+		})
+	}
+}
+
+func TestKernelRegistry(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 13 {
+		t.Fatalf("expected 13 kernels, got %d", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if seen[k.Name] {
+			t.Fatalf("duplicate kernel %q", k.Name)
+		}
+		seen[k.Name] = true
+		if k.Description == "" || k.Build == nil {
+			t.Fatalf("kernel %q incomplete", k.Name)
+		}
+		w := k.Build(2, 1)
+		if len(w.Progs) != 2 || w.Check == nil {
+			t.Fatalf("kernel %q built a bad workload", k.Name)
+		}
+	}
+	if _, err := ByName("fft"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestLayoutSeparation(t *testing.T) {
+	l := NewLayout()
+	a := l.Lock()
+	b := l.Barrier()
+	c := l.AllocWords(3)
+	d := l.Alloc(1)
+	if a/32 == b/32 || b/32 == c/32 || c/32 == d/32 && c+24 > d {
+		t.Fatalf("allocations share lines: %#x %#x %#x %#x", a, b, c, d)
+	}
+	if d%32 != 0 {
+		t.Fatalf("alloc not line aligned: %#x", d)
+	}
+}
+
+func TestKernelsAreDeterministic(t *testing.T) {
+	w1 := Radix(4, 1)
+	w2 := Radix(4, 1)
+	if len(w1.Progs[0].Code) != len(w2.Progs[0].Code) {
+		t.Fatal("kernel build not deterministic")
+	}
+	for i := range w1.Progs[0].Code {
+		if w1.Progs[0].Code[i] != w2.Progs[0].Code[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package relaxreplay is a full-system reproduction of RelaxReplay
+// (Honarmand & Torrellas, ASPLOS 2014): hardware-assisted memory race
+// recording and deterministic replay for relaxed-consistency
+// multiprocessors.
+//
+// The package simulates a release-consistent multicore (out-of-order
+// cores, MESI coherence on a slotted ring or with a directory),
+// attaches a RelaxReplay memory race recorder to every core
+// (RelaxReplay_Base or RelaxReplay_Opt), produces the paper's interval
+// log, and deterministically replays it — verifying that the replay
+// reproduces the recorded execution bit-for-bit.
+//
+// Quick start:
+//
+//	w := relaxreplay.MustKernel("fft", 8, 2)       // an 8-thread workload
+//	rec, err := relaxreplay.Record(relaxreplay.DefaultConfig(), w)
+//	rep, err := rec.Replay()                       // patch + replay + verify
+//	fmt.Println(rec.LogSizeBits(), rep.Timing.Total())
+//
+// Programs are written in the package's mini RISC ISA via NewProgram,
+// or taken from the bundled SPLASH-2-analog kernels (Kernels) and
+// litmus tests (LitmusTests). The internal packages contain the full
+// simulator; this package is the stable surface.
+package relaxreplay
+
+import (
+	"fmt"
+	"io"
+
+	"relaxreplay/internal/coherence"
+	"relaxreplay/internal/core"
+	"relaxreplay/internal/cpu"
+	"relaxreplay/internal/isa"
+	"relaxreplay/internal/machine"
+	"relaxreplay/internal/replay"
+	"relaxreplay/internal/replaylog"
+)
+
+// Variant selects the recorder design (paper §3.2).
+type Variant int
+
+const (
+	// Base is RelaxReplay_Base: no Snoop Table; any access whose
+	// perform and counting events fall in different intervals is
+	// logged as reordered.
+	Base Variant = iota
+	// Opt is RelaxReplay_Opt: the Snoop Table proves most
+	// cross-interval accesses unobserved, shrinking the log.
+	Opt
+)
+
+func (v Variant) String() string {
+	if v == Opt {
+		return "opt"
+	}
+	return "base"
+}
+
+// MemoryModel selects the consistency model the simulated cores
+// implement. RelaxReplay records any of them (the paper's central
+// claim); the paper's evaluation uses RC.
+type MemoryModel int
+
+const (
+	// RC is release consistency (the paper's target).
+	RC MemoryModel = iota
+	// TSO is total store ordering (the model earlier recorders like
+	// CoreRacer and RTR support).
+	TSO
+	// SC is sequential consistency (what conventional chunk recorders
+	// assume).
+	SC
+)
+
+func (m MemoryModel) String() string {
+	switch m {
+	case TSO:
+		return "tso"
+	case SC:
+		return "sc"
+	}
+	return "rc"
+}
+
+// Ordering selects the interval-ordering mechanism paired with
+// RelaxReplay's event tracking (paper §3.6: any chunk-ordering scheme
+// composes with it).
+type Ordering int
+
+const (
+	// QuickRec orders intervals by a globally-consistent physical
+	// timestamp (the paper's evaluated pairing).
+	QuickRec Ordering = iota
+	// Lamport orders intervals by scalar logical clocks piggybacked on
+	// coherence messages (Intel MRR / Cyrus style).
+	Lamport
+)
+
+// Protocol selects the coherence protocol (paper §4.3).
+type Protocol int
+
+const (
+	// Snoopy broadcasts every transaction on the ring (the paper's
+	// evaluation configuration).
+	Snoopy Protocol = iota
+	// Directory keeps exact sharer state at the L2 home and sends
+	// targeted invalidations.
+	Directory
+)
+
+// Config selects the machine and recorder parameters. The zero value
+// is not valid; start from DefaultConfig.
+type Config struct {
+	// Cores is the number of simulated cores (paper default: 8).
+	Cores int
+	// Variant selects RelaxReplay_Base or RelaxReplay_Opt.
+	Variant Variant
+	// MaxIntervalInstrs bounds interval size in instructions; 0 means
+	// unbounded (the paper's INF configuration).
+	MaxIntervalInstrs uint64
+	// Protocol selects snoopy or directory coherence.
+	Protocol Protocol
+	// Ordering selects the interval orderer (QuickRec or Lamport).
+	Ordering Ordering
+	// Memory selects the consistency model of the simulated cores
+	// (RC, TSO or SC).
+	Memory MemoryModel
+	// MaxCycles aborts runaway (deadlocked) workloads.
+	MaxCycles uint64
+
+	// Hardware geometry (paper Table 1 defaults; exposed for the
+	// ablation studies).
+	TRAQSize          int
+	SnoopTableArrays  int
+	SnoopTableEntries int
+	SignatureBits     int
+}
+
+// DefaultConfig returns the paper's default setup: 8 cores, snoopy
+// MESI ring, RelaxReplay_Opt, 4K-instruction maximum intervals.
+func DefaultConfig() Config {
+	r := core.DefaultConfig(core.Opt)
+	return Config{
+		Cores:             8,
+		Variant:           Opt,
+		MaxIntervalInstrs: r.MaxIntervalInstrs,
+		Protocol:          Snoopy,
+		MaxCycles:         500_000_000,
+		TRAQSize:          r.TRAQSize,
+		SnoopTableArrays:  r.SnoopArrays,
+		SnoopTableEntries: r.SnoopEntries,
+		SignatureBits:     r.SigBits,
+	}
+}
+
+func (c Config) machineConfig() machine.Config {
+	m := machine.DefaultConfig(c.Cores)
+	if c.Protocol == Directory {
+		m.Mem.Protocol = coherence.Directory
+	}
+	switch c.Memory {
+	case TSO:
+		m.CPU.Model = cpu.TSO
+	case SC:
+		m.CPU.Model = cpu.SC
+	}
+	if c.MaxCycles > 0 {
+		m.MaxCycles = c.MaxCycles
+	}
+	return m
+}
+
+func (c Config) recorderConfig() core.Config {
+	v := core.Base
+	if c.Variant == Opt {
+		v = core.Opt
+	}
+	r := core.DefaultConfig(v)
+	r.MaxIntervalInstrs = c.MaxIntervalInstrs
+	if c.Ordering == Lamport {
+		r.Ordering = core.OrderingLamport
+	}
+	if c.TRAQSize > 0 {
+		r.TRAQSize = c.TRAQSize
+	}
+	if c.SnoopTableArrays > 0 {
+		r.SnoopArrays = c.SnoopTableArrays
+	}
+	if c.SnoopTableEntries > 0 {
+		r.SnoopEntries = c.SnoopTableEntries
+	}
+	if c.SignatureBits > 0 {
+		r.SigBits = c.SignatureBits
+	}
+	return r
+}
+
+// Program is a fully-built instruction sequence for one hardware thread.
+type Program = isa.Program
+
+// ProgramBuilder assembles Programs with symbolic labels; see the
+// methods of isa.Builder (Ld, St, AmoAdd, Beq, ...).
+type ProgramBuilder = isa.Builder
+
+// NewProgram returns a builder for a new program.
+func NewProgram(name string) *ProgramBuilder { return isa.NewBuilder(name) }
+
+// Workload is a multithreaded program plus its environment: one
+// program per core, optional recorded-input streams, initial memory.
+type Workload struct {
+	Name    string
+	Progs   []Program
+	Inputs  [][]uint64
+	InitMem map[uint64]uint64
+}
+
+// Log is a RelaxReplay interval log; see internal/replaylog for the
+// entry types.
+type Log = replaylog.Log
+
+// Recording is the outcome of recording a workload.
+type Recording struct {
+	cfg Config
+	w   Workload
+	res *core.Result
+}
+
+// Record runs the workload on the simulated multicore with a
+// RelaxReplay recorder on every core and returns the recording.
+func Record(cfg Config, w Workload) (*Recording, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("relaxreplay: config needs Cores > 0 (start from DefaultConfig)")
+	}
+	if len(w.Progs) != cfg.Cores {
+		return nil, fmt.Errorf("relaxreplay: workload has %d programs for %d cores", len(w.Progs), cfg.Cores)
+	}
+	res, err := core.Record(cfg.machineConfig(), cfg.recorderConfig(), core.Workload{
+		Name: w.Name, Progs: w.Progs, Inputs: w.Inputs, InitMem: w.InitMem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Recording{cfg: cfg, w: w, res: res}, nil
+}
+
+// Log returns the raw (unpatched) interval log.
+func (r *Recording) Log() *Log { return r.res.Log }
+
+// PatchedLog returns the log after the off-line patching pass (paper
+// §3.3.2), ready for replay.
+func (r *Recording) PatchedLog() (*Log, error) { return r.res.Log.Patch() }
+
+// Cycles returns the parallel recording time in cycles.
+func (r *Recording) Cycles() uint64 { return r.res.Cycles }
+
+// LogSizeBits returns the uncompressed log size in bits (the paper's
+// Figure 11 metric).
+func (r *Recording) LogSizeBits() int { return r.res.Log.SizeBits() }
+
+// Instructions returns the total retired instruction count.
+func (r *Recording) Instructions() uint64 {
+	var n uint64
+	for _, s := range r.res.CoreStats {
+		n += s.Retired
+	}
+	return n
+}
+
+// ReorderedAccesses returns how many memory accesses were logged as
+// reordered (the paper's Figure 9 metric).
+func (r *Recording) ReorderedAccesses() uint64 {
+	var n uint64
+	for _, s := range r.res.RecStats {
+		n += s.ReorderedLoads + s.ReorderedStores + s.ReorderedAtomics
+	}
+	return n
+}
+
+// FinalMemory returns the recorded execution's final memory image
+// (non-zero words).
+func (r *Recording) FinalMemory() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(r.res.FinalMemory))
+	for k, v := range r.res.FinalMemory {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteLog serializes the raw log (with the recorded input streams) to w.
+func (r *Recording) WriteLog(w io.Writer) error { return replaylog.Encode(w, r.res.Log) }
+
+// ReadLog deserializes a log written by WriteLog.
+func ReadLog(rd io.Reader) (*Log, error) { return replaylog.Decode(rd) }
+
+// ReplayResult is the outcome of a verified deterministic replay.
+type ReplayResult struct {
+	// Timing is the modeled sequential replay time (Figure 13).
+	Timing ReplayTiming
+	// Intervals is the number of intervals replayed.
+	Intervals int
+	// FinalMemory is the replayed memory image (equal to the
+	// recording's, or Replay would have failed).
+	FinalMemory map[uint64]uint64
+}
+
+// ReplayTiming is the modeled user/OS cycle breakdown.
+type ReplayTiming = replay.Timing
+
+// Replay patches the log, replays it sequentially in the recorded
+// interval order, and verifies the replayed execution against the
+// recording (every register, every memory word, every instruction
+// count). An error means nondeterminism — the condition RnR exists to
+// rule out.
+func (r *Recording) Replay() (*ReplayResult, error) {
+	patched, err := r.res.Log.Patch()
+	if err != nil {
+		return nil, err
+	}
+	cpi := make([]float64, r.cfg.Cores)
+	retired := make([]uint64, r.cfg.Cores)
+	for c, st := range r.res.CoreStats {
+		retired[c] = st.Retired
+		if st.Retired > 0 {
+			cpi[c] = float64(st.Cycles) / float64(st.Retired)
+		} else {
+			cpi[c] = 1
+		}
+	}
+	rp, err := replay.New(replay.DefaultConfig(), patched, r.w.Progs, r.w.InitMem, cpi)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := rp.Run()
+	if err != nil {
+		return nil, err
+	}
+	if err := replay.Verify(rep, r.res.FinalMemory, r.res.FinalRegs, retired); err != nil {
+		return nil, err
+	}
+	return &ReplayResult{Timing: rep.Timing, Intervals: rep.Intervals, FinalMemory: rep.FinalMemory}, nil
+}
+
+// ReplayLog replays an externally-loaded (possibly unpatched) log
+// against the workload that was recorded. It cannot verify against
+// the original machine state (that lives in the Recording); it returns
+// the replayed final memory for the caller to inspect.
+func ReplayLog(log *Log, w Workload) (*ReplayResult, error) {
+	patched := log
+	if !log.Patched {
+		var err error
+		patched, err = log.Patch()
+		if err != nil {
+			return nil, err
+		}
+	}
+	rp, err := replay.New(replay.DefaultConfig(), patched, w.Progs, w.InitMem, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := rp.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayResult{Timing: rep.Timing, Intervals: rep.Intervals, FinalMemory: rep.FinalMemory}, nil
+}
+
+// ParallelReplayEstimate is the parallel-replay scheduling estimate
+// computed from the recorded Cyrus-style dependence edges (an
+// extension; paper §5.4 anticipates parallel replay when RelaxReplay
+// is paired with a dependence-recording orderer).
+type ParallelReplayEstimate struct {
+	SequentialCycles uint64
+	ParallelCycles   uint64
+	Speedup          float64
+}
+
+// EstimateParallelReplay schedules the recorded intervals with one
+// logical processor per recorded core, honoring same-core order and
+// the recorded cross-core dependence edges, and reports the modeled
+// makespan next to sequential replay time.
+func (r *Recording) EstimateParallelReplay() ParallelReplayEstimate {
+	cpi := make([]float64, r.cfg.Cores)
+	for c, st := range r.res.CoreStats {
+		if st.Retired > 0 {
+			cpi[c] = float64(st.Cycles) / float64(st.Retired)
+		} else {
+			cpi[c] = 1
+		}
+	}
+	est := replay.EstimateParallel(replay.DefaultConfig(), r.res.Log, cpi)
+	return ParallelReplayEstimate{
+		SequentialCycles: est.SequentialCycles,
+		ParallelCycles:   est.ParallelCycles,
+		Speedup:          est.Speedup(),
+	}
+}
