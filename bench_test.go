@@ -167,6 +167,39 @@ func BenchmarkFig14(b *testing.B) {
 	}
 }
 
+// Suite parallelism ---------------------------------------------------------
+
+// benchWarm records the Figure 9/10/11 cross-product (4 apps x Base/Opt
+// x 4K/INF) through Suite.RecordAll at the given parallelism; comparing
+// the Serial and Parallel variants shows the worker-pool speedup on a
+// multi-core host (results are identical either way — see the
+// determinism test in internal/experiments).
+func benchWarm(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultOptions()
+		opts.Scale = 1
+		opts.Cores = 4
+		opts.Apps = []string{"fft", "lu", "radix", "volrend"}
+		opts.Parallelism = parallelism
+		s := experiments.NewSuite(opts)
+		var specs []experiments.Spec
+		for _, app := range opts.Apps {
+			for _, v := range []core.Variant{core.Base, core.Opt} {
+				for _, m := range []experiments.IntervalMode{experiments.I4K, experiments.INF} {
+					specs = append(specs, experiments.Spec{App: app, Variant: v, Mode: m, Cores: opts.Cores})
+				}
+			}
+		}
+		if err := s.RecordAll(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteWarmSerial(b *testing.B)   { benchWarm(b, 1) }
+func BenchmarkSuiteWarmParallel(b *testing.B) { benchWarm(b, 0) }
+
 // Ablation benchmarks -------------------------------------------------------
 
 // ablationRecord records one kernel under cfg and reports log size

@@ -1,13 +1,35 @@
 // Command rrbench regenerates the paper's evaluation tables and
-// figures (Table 1, Figures 1 and 9-14) on the simulated multicore.
+// figures (Table 1, Figures 1 and 9-14) plus this repo's extension
+// studies on the simulated multicore.
 //
 // Usage:
 //
 //	rrbench [-cores 8] [-scale 3] [-apps fft,lu,...] [-protocol snoopy|directory]
-//	        [-fig all|table1,1,9,10,11,12,13,14] [-noverify]
+//	        [-fig all|table1,1,9,...] [-j N] [-noverify] [-quiet]
 //
-// Every recording is replay-verified against the recorded execution
-// unless -noverify is given.
+// The -fig argument accepts a comma-separated subset of:
+//
+//	table1      architectural parameters (paper Table 1)
+//	1           memory accesses performed out of program order (Figure 1)
+//	9           accesses logged as reordered (Figure 9)
+//	10          InorderBlock entries, Opt vs Base (Figure 10)
+//	11          uncompressed log size and rate (Figure 11)
+//	12          TRAQ occupancy average and distribution (Figure 12)
+//	13          sequential replay time (Figure 13)
+//	14          scalability with 4/8/16 cores (Figure 14)
+//	parallel    parallel-replay potential of the logged edges (paper §5.4)
+//	overhead    recording's execution-time overhead (paper §5.3)
+//	motivation  SC-assuming chunk recorder diverging under RC (paper §2.2)
+//	models      consistency-model sweep: RC, TSO, SC (extension)
+//	all         everything above
+//
+// -j N records up to N runs concurrently (0, the default, uses
+// GOMAXPROCS; -j 1 reproduces the serial harness). Output is
+// deterministic regardless of -j: recordings are independent
+// simulations and every table is assembled in a fixed order. Progress
+// is reported on stderr as recordings start and finish; -quiet
+// silences it. Every recording is replay-verified against the recorded
+// execution unless -noverify is given.
 package main
 
 import (
@@ -15,26 +37,40 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/experiments"
 )
+
+// knownFigs lists the accepted -fig names in presentation order.
+var knownFigs = []string{
+	"table1", "1", "9", "10", "11", "12", "13", "14",
+	"parallel", "overhead", "motivation", "models",
+}
 
 func main() {
 	cores := flag.Int("cores", 8, "number of simulated cores")
 	scale := flag.Int("scale", 3, "workload problem-size multiplier")
 	apps := flag.String("apps", "", "comma-separated kernel subset (default: all)")
 	protocol := flag.String("protocol", "snoopy", "coherence protocol: snoopy or directory")
-	figs := flag.String("fig", "all", "figures to regenerate (comma-separated)")
+	figs := flag.String("fig", "all", "figures to regenerate (comma-separated; see doc)")
+	jobs := flag.Int("j", 0, "max concurrent recordings (0 = GOMAXPROCS, 1 = serial)")
 	noverify := flag.Bool("noverify", false, "skip replay verification of each recording")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.Cores = *cores
 	opts.Scale = *scale
 	opts.Verify = !*noverify
+	opts.Parallelism = *jobs
 	if *apps != "" {
-		opts.Apps = strings.Split(*apps, ",")
+		list, err := experiments.ParseApps(*apps)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Apps = list
 	}
 	switch *protocol {
 	case "snoopy":
@@ -44,10 +80,41 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown protocol %q", *protocol))
 	}
+	if !*quiet {
+		start := time.Now()
+		opts.Progress = func(ev experiments.ProgressEvent) {
+			if !ev.Done {
+				fmt.Fprintf(os.Stderr, "rrbench: [%d/%d] record %v ...\n",
+					ev.Completed, ev.Started, ev.Spec)
+				return
+			}
+			status := "done"
+			if ev.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "rrbench: [%d/%d] %v %s in %.1fs (%.0fs elapsed)\n",
+				ev.Completed, ev.Started, ev.Spec, status,
+				ev.Duration.Seconds(), time.Since(start).Seconds())
+		}
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {
-		want[strings.TrimSpace(f)] = true
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		valid := f == "all"
+		for _, k := range knownFigs {
+			valid = valid || f == k
+		}
+		if !valid {
+			fatal(fmt.Errorf("unknown figure %q (known: all, %s)", f, strings.Join(knownFigs, ", ")))
+		}
+		want[f] = true
+	}
+	if len(want) == 0 {
+		fatal(fmt.Errorf("-fig %q selects nothing", *figs))
 	}
 	all := want["all"]
 	s := experiments.NewSuite(opts)

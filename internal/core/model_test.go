@@ -133,7 +133,7 @@ func TestRecorderModelProperties(t *testing.T) {
 			cfg := DefaultConfig(variant)
 			cfg.TRAQSize = 16
 			cfg.MaxIntervalInstrs = uint64([]int{0, 8, 64}[seed%3])
-			d := &modelDriver{rng: rand.New(rand.NewSource(seed)), r: NewRecorder(0, cfg, nil)}
+			d := &modelDriver{rng: rand.New(rand.NewSource(seed)), r: mustRecorder(cfg, nil)}
 			for i := 0; i < 600; i++ {
 				d.step()
 			}
@@ -165,7 +165,7 @@ func TestRecorderModelProperties(t *testing.T) {
 // Fuzz-ish: randomly corrupted serialized logs must error, not panic.
 func TestDecodeRejectsCorruption(t *testing.T) {
 	cfg := DefaultConfig(Base)
-	d := &modelDriver{rng: rand.New(rand.NewSource(7)), r: NewRecorder(0, cfg, nil)}
+	d := &modelDriver{rng: rand.New(rand.NewSource(7)), r: mustRecorder(cfg, nil)}
 	for i := 0; i < 300; i++ {
 		d.step()
 	}

@@ -96,6 +96,32 @@ func DefaultConfig(v Variant) Config {
 	}
 }
 
+// Validate checks the structural invariants the recorder depends on,
+// returning a descriptive error for the first violation. NewRecorder
+// and NewSession call it, so a bad Config surfaces as an error instead
+// of a runtime panic deep in the pipeline (NMICap = 0, for example,
+// used to crash Halted with an integer divide by zero and to wedge
+// DispatchInstr's filler-spill loop).
+func (c Config) Validate() error {
+	switch {
+	case c.TRAQSize < 1:
+		return fmt.Errorf("core: config: TRAQSize = %d, need at least 1 TRAQ entry", c.TRAQSize)
+	case c.CountPerCycle < 1:
+		return fmt.Errorf("core: config: CountPerCycle = %d, need at least 1 (TRAQ would never drain)", c.CountPerCycle)
+	case c.NMICap < 1:
+		return fmt.Errorf("core: config: NMICap = %d, need at least 1 non-memory instruction per NMI field", c.NMICap)
+	case c.LogBufferBytes < 0:
+		return fmt.Errorf("core: config: LogBufferBytes = %d, must be non-negative", c.LogBufferBytes)
+	case c.SigArrays < 1 || c.SigBits < 1:
+		return fmt.Errorf("core: config: signature geometry %dx%d bits, need at least 1x1", c.SigArrays, c.SigBits)
+	}
+	if c.Variant == Opt && (c.SnoopArrays < 1 || c.SnoopEntries < 1) {
+		return fmt.Errorf("core: config: Snoop Table geometry %dx%d, Opt needs at least 1x1",
+			c.SnoopArrays, c.SnoopEntries)
+	}
+	return nil
+}
+
 // pendingPred is a dependence edge awaiting attachment to its interval.
 type pendingPred struct {
 	seq  uint64
@@ -219,9 +245,13 @@ type Recorder struct {
 	Stats Stats
 }
 
-// NewRecorder builds a recorder for the given core. A nil orderer
-// selects the default QuickRec orderer from cfg's signature geometry.
-func NewRecorder(core int, cfg Config, orderer Orderer) *Recorder {
+// NewRecorder builds a recorder for the given core, rejecting invalid
+// configurations (see Config.Validate). A nil orderer selects the
+// default QuickRec orderer from cfg's signature geometry.
+func NewRecorder(core int, cfg Config, orderer Orderer) (*Recorder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if orderer == nil {
 		if cfg.Ordering == OrderingLamport {
 			orderer = NewLamportOrderer(cfg.SigArrays, cfg.SigBits, cfg.SigSeed)
@@ -238,7 +268,7 @@ func NewRecorder(core int, cfg Config, orderer Orderer) *Recorder {
 	if cfg.Variant == Opt {
 		r.snoop = NewSnoopTable(cfg.SnoopArrays, cfg.SnoopEntries)
 	}
-	return r
+	return r, nil
 }
 
 // Busy reports whether uncounted work remains in the TRAQ.

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/replaylog"
 )
@@ -13,7 +14,16 @@ func testRecorder(v Variant) *Recorder {
 	cfg := DefaultConfig(v)
 	cfg.TRAQSize = 8
 	cfg.MaxIntervalInstrs = 0
-	return NewRecorder(0, cfg, nil)
+	return mustRecorder(cfg, nil)
+}
+
+// mustRecorder builds a recorder from a config the test knows is valid.
+func mustRecorder(cfg Config, o Orderer) *Recorder {
+	r, err := NewRecorder(0, cfg, o)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 var (
@@ -290,7 +300,7 @@ func TestSquashedFillerRestoredPartially(t *testing.T) {
 	cfg := DefaultConfig(Base)
 	cfg.NMICap = 4
 	cfg.MaxIntervalInstrs = 0
-	r := NewRecorder(0, cfg, nil)
+	r := mustRecorder(cfg, nil)
 	// 5 non-mem: filler spills at the 5th (holding seqs 0-3).
 	for i := uint64(0); i < 5; i++ {
 		r.DispatchInstr(i, aluIns)
@@ -318,7 +328,7 @@ func TestSquashedFillerRestoredPartially(t *testing.T) {
 func TestMaxIntervalSizeTerminates(t *testing.T) {
 	cfg := DefaultConfig(Base)
 	cfg.MaxIntervalInstrs = 4
-	r := NewRecorder(0, cfg, nil)
+	r := mustRecorder(cfg, nil)
 	for i := uint64(0); i < 8; i++ {
 		drive(r, i, ldIns, 0x100+8*i)
 		r.Tick(uint64(i))
@@ -447,5 +457,58 @@ func TestPerformOnSquashedSeqIgnored(t *testing.T) {
 	r.Perform(0, 0x100, true, false, 1, 0, false) // stale event
 	if r.Busy() {
 		t.Fatal("squashed entry still live")
+	}
+}
+
+func TestConfigValidateRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero NMICap", func(c *Config) { c.NMICap = 0 }},
+		{"negative NMICap", func(c *Config) { c.NMICap = -3 }},
+		{"zero TRAQ", func(c *Config) { c.TRAQSize = 0 }},
+		{"zero count bandwidth", func(c *Config) { c.CountPerCycle = 0 }},
+		{"negative log buffer", func(c *Config) { c.LogBufferBytes = -1 }},
+		{"zero signature bits", func(c *Config) { c.SigBits = 0 }},
+		{"zero signature arrays", func(c *Config) { c.SigArrays = 0 }},
+		{"zero snoop entries (Opt)", func(c *Config) { c.SnoopEntries = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(Opt)
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+		if _, err := NewRecorder(0, cfg, nil); err == nil {
+			t.Errorf("%s: NewRecorder accepted bad config", tc.name)
+		}
+		if _, err := NewSession(machineConfig(2, coherence.Snoopy), cfg, spinlockWorkload(2, 2)); err == nil {
+			t.Errorf("%s: NewSession accepted bad config", tc.name)
+		}
+		if _, err := Record(machineConfig(2, coherence.Snoopy), cfg, spinlockWorkload(2, 2)); err == nil {
+			t.Errorf("%s: Record accepted bad config", tc.name)
+		}
+	}
+	// NMICap = 0 used to panic with an integer divide by zero in
+	// Halted; the error path must never reach that code.
+	cfg := DefaultConfig(Base)
+	cfg.NMICap = 0
+	if _, err := Record(machineConfig(2, coherence.Snoopy), cfg, spinlockWorkload(2, 2)); err == nil {
+		t.Fatal("Record ran with NMICap = 0")
+	}
+}
+
+func TestConfigValidateAcceptsDefaultsAndBaseWithoutSnoop(t *testing.T) {
+	for _, v := range []Variant{Base, Opt} {
+		if err := DefaultConfig(v).Validate(); err != nil {
+			t.Fatalf("default %v config invalid: %v", v, err)
+		}
+	}
+	// Base never touches the Snoop Table, so its geometry may be zero.
+	cfg := DefaultConfig(Base)
+	cfg.SnoopArrays, cfg.SnoopEntries = 0, 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Base config without snoop table rejected: %v", err)
 	}
 }

@@ -44,11 +44,20 @@ type Session struct {
 	rcfg      Config
 }
 
-// NewSession builds a recording session for the workload.
-func NewSession(mcfg machine.Config, rcfg Config, w Workload) *Session {
+// NewSession builds a recording session for the workload. An invalid
+// recorder configuration is reported here (see Config.Validate)
+// instead of panicking mid-run.
+func NewSession(mcfg machine.Config, rcfg Config, w Workload) (*Session, error) {
+	if err := rcfg.Validate(); err != nil {
+		return nil, err
+	}
 	recs := make([]*Recorder, mcfg.Cores)
 	for i := range recs {
-		recs[i] = NewRecorder(i, rcfg, nil)
+		r, err := NewRecorder(i, rcfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		recs[i] = r
 	}
 	hookFor := func(i int) cpu.Hooks {
 		r := recs[i]
@@ -89,7 +98,7 @@ func NewSession(mcfg machine.Config, rcfg Config, w Workload) *Session {
 		m.Sys.ClockOf = func(c int) uint64 { return recs[c].OrdererClock() }
 		m.Sys.OnHint = func(c int, hint uint64) { recs[c].SyncClock(hint) }
 	}
-	return &Session{M: m, Recorders: recs, workload: w, rcfg: rcfg}
+	return &Session{M: m, Recorders: recs, workload: w, rcfg: rcfg}, nil
 }
 
 // Run records the workload to completion and returns the log.
@@ -154,5 +163,9 @@ func (s *Session) Run() (*Result, error) {
 
 // Record is the one-call convenience wrapper: build a session and run it.
 func Record(mcfg machine.Config, rcfg Config, w Workload) (*Result, error) {
-	return NewSession(mcfg, rcfg, w).Run()
+	s, err := NewSession(mcfg, rcfg, w)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
 }

@@ -135,7 +135,7 @@ func TestQuickRecOrderer(t *testing.T) {
 func TestRecorderUsesCustomOrderer(t *testing.T) {
 	// An orderer that conflicts on everything: every remote snoop
 	// terminates the interval.
-	r := NewRecorder(0, DefaultConfig(Base), conflictAll{})
+	r := mustRecorder(DefaultConfig(Base), conflictAll{})
 	r.ObserveRemote(1, false, 5)
 	r.ObserveRemote(2, false, 6)
 	if r.Stats.ConflictTerminations != 2 {

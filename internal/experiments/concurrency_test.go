@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"relaxreplay/internal/core"
+	"relaxreplay/internal/replaylog"
+)
+
+// hammerSpecs is a small mixed key set: duplicates within it exercise
+// the singleflight path, distinct keys the worker pool.
+func hammerSpecs(cores int) []Spec {
+	return []Spec{
+		{App: "fft", Variant: core.Opt, Mode: I4K, Cores: cores},
+		{App: "fft", Variant: core.Base, Mode: INF, Cores: cores},
+		{App: "volrend", Variant: core.Opt, Mode: I4K, Cores: cores},
+	}
+}
+
+// TestDeterminismSerialVsParallel is the regression test for the
+// concurrent suite: recording the same workloads through the serial
+// harness (Parallelism = 1) and through the worker pool (Parallelism =
+// 4) must produce byte-identical encoded logs and equal recorder
+// statistics. Replay verification stays on, so both paths also prove
+// RnR soundness.
+func TestDeterminismSerialVsParallel(t *testing.T) {
+	specs := hammerSpecs(2)
+	capture := func(parallelism int) (map[Spec][]byte, map[Spec][]core.Stats) {
+		opts := DefaultOptions()
+		opts.Cores = 2
+		opts.Scale = 1
+		opts.Apps = []string{"fft", "volrend"}
+		opts.Parallelism = parallelism
+		s := NewSuite(opts)
+		if err := s.RecordAll(specs); err != nil {
+			t.Fatal(err)
+		}
+		logs := make(map[Spec][]byte)
+		stats := make(map[Spec][]core.Stats)
+		for _, sp := range specs {
+			run, err := s.Record(sp.App, sp.Variant, sp.Mode, sp.Cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := replaylog.Encode(&buf, run.Res.Log); err != nil {
+				t.Fatal(err)
+			}
+			logs[sp] = buf.Bytes()
+			stats[sp] = run.Res.RecStats
+		}
+		return logs, stats
+	}
+	serialLogs, serialStats := capture(1)
+	parLogs, parStats := capture(4)
+	for _, sp := range specs {
+		if !bytes.Equal(serialLogs[sp], parLogs[sp]) {
+			t.Errorf("%v: encoded log differs between serial and parallel recording (%d vs %d bytes)",
+				sp, len(serialLogs[sp]), len(parLogs[sp]))
+		}
+		if !reflect.DeepEqual(serialStats[sp], parStats[sp]) {
+			t.Errorf("%v: recorder stats differ between serial and parallel recording", sp)
+		}
+	}
+}
+
+// TestSuiteRecordConcurrentHammer drives Suite.Record from many
+// goroutines for the same and different keys simultaneously (run under
+// -race in CI). Every caller must observe the one cached *Run per key.
+func TestSuiteRecordConcurrentHammer(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Cores = 2
+	opts.Scale = 1
+	opts.Verify = false // determinism test above covers verification
+	s := NewSuite(opts)
+	specs := hammerSpecs(2)
+
+	const goroutines = 16
+	got := make([][]*Run, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				for _, sp := range specs {
+					run, err := s.Record(sp.App, sp.Variant, sp.Mode, sp.Cores)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					got[g] = append(got[g], run)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if len(got[g]) != len(got[0]) {
+			t.Fatalf("goroutine %d saw %d runs, want %d", g, len(got[g]), len(got[0]))
+		}
+		for i := range got[g] {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d run %d: distinct *Run for the same key (singleflight broken)", g, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentReplayMemoized hammers Suite.Replay for one run from
+// many goroutines: the replay must execute once and every caller must
+// see the same memoized result.
+func TestConcurrentReplayMemoized(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Cores = 2
+	opts.Scale = 1
+	opts.Verify = false
+	s := NewSuite(opts)
+	run, err := s.Record("fft", core.Opt, I4K, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	reps := make([]any, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rep, err := s.Replay(run)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reps[g] = rep
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if reps[g] != reps[0] {
+			t.Fatal("Replay returned distinct results for the same run")
+		}
+	}
+}
+
+// TestRecordAllProgressAndDedup checks that RecordAll deduplicates
+// (duplicate specs cause no extra executions) and that progress events
+// pair up: one start and one done per executed recording, serialized.
+func TestRecordAllProgressAndDedup(t *testing.T) {
+	var mu sync.Mutex
+	starts, dones := 0, 0
+	opts := DefaultOptions()
+	opts.Cores = 2
+	opts.Scale = 1
+	opts.Verify = false
+	opts.Parallelism = 4
+	opts.Progress = func(ev ProgressEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Done {
+			dones++
+			if ev.Err != nil {
+				t.Errorf("%v: %v", ev.Spec, ev.Err)
+			}
+		} else {
+			starts++
+		}
+		if ev.Completed > ev.Started {
+			t.Errorf("progress counters inverted: %d completed of %d started", ev.Completed, ev.Started)
+		}
+	}
+	s := NewSuite(opts)
+	specs := append(hammerSpecs(2), hammerSpecs(2)...) // every key twice
+	if err := s.RecordAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	unique := len(hammerSpecs(2))
+	if starts != unique || dones != unique {
+		t.Fatalf("progress events = %d starts / %d dones, want %d each (dedup broken?)",
+			starts, dones, unique)
+	}
+	// A second RecordAll is fully cached: no new executions.
+	if err := s.RecordAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	if starts != unique || dones != unique {
+		t.Fatalf("cached RecordAll re-executed runs: %d starts", starts)
+	}
+}
+
+// TestRecordAllPropagatesFirstError ensures a failing spec surfaces
+// (in spec order) while valid specs still record.
+func TestRecordAllPropagatesFirstError(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Cores = 2
+	opts.Scale = 1
+	opts.Verify = false
+	opts.Parallelism = 4
+	s := NewSuite(opts)
+	specs := []Spec{
+		{App: "fft", Variant: core.Opt, Mode: I4K, Cores: 2},
+		{App: "no-such-kernel", Variant: core.Opt, Mode: I4K, Cores: 2},
+	}
+	if err := s.RecordAll(specs); err == nil {
+		t.Fatal("RecordAll accepted an unknown kernel")
+	}
+	if _, err := s.Record("fft", core.Opt, I4K, 2); err != nil {
+		t.Fatalf("valid spec poisoned by sibling failure: %v", err)
+	}
+}
+
+func TestParseApps(t *testing.T) {
+	got, err := ParseApps(" fft , lu ,,volrend ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fft", "lu", "volrend"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseApps = %v, want %v", got, want)
+	}
+	if _, err := ParseApps("fft,nope"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("barnes")) {
+		t.Fatalf("error does not list known kernels: %v", err)
+	}
+	if _, err := ParseApps(" , ,"); err == nil {
+		t.Fatal("empty app list accepted")
+	}
+}

@@ -26,6 +26,9 @@ type Fig1Row struct {
 // instructions performed out of program order (paper average: 59%
 // loads, 3% stores).
 func (s *Suite) Figure1() ([]Fig1Row, *stats.Table, error) {
+	if err := s.RecordAll(s.crossApps(s.opts.Cores, vmCfg{core.Base, INF})); err != nil {
+		return nil, nil, err
+	}
 	t := stats.NewTable("Figure 1: memory accesses performed out of program order",
 		"app", "OOO loads", "OOO stores", "total OOO")
 	var rows []Fig1Row
@@ -59,6 +62,9 @@ type Fig9Row struct {
 // logged as reordered (paper averages: Base 1.7%/0.17% for 4K/INF;
 // Opt 0.03% for both).
 func (s *Suite) Figure9() ([]Fig9Row, *stats.Table, error) {
+	if err := s.RecordAll(s.crossApps(s.opts.Cores, allCfgs...)); err != nil {
+		return nil, nil, err
+	}
 	t := stats.NewTable("Figure 9: accesses logged as reordered (% of memory instructions)",
 		"app", "Base 4K", "Opt 4K", "Base INF", "Opt INF")
 	var rows []Fig9Row
@@ -109,6 +115,9 @@ type Fig10Row struct {
 // Figure10 reproduces paper Figure 10: the number of InorderBlock
 // entries, normalized to Base (paper averages: 13% at 4K, 48% at INF).
 func (s *Suite) Figure10() ([]Fig10Row, *stats.Table, error) {
+	if err := s.RecordAll(s.crossApps(s.opts.Cores, allCfgs...)); err != nil {
+		return nil, nil, err
+	}
 	t := stats.NewTable("Figure 10: InorderBlock entries, Opt normalized to Base",
 		"app", "Base 4K", "Opt 4K", "Opt/Base 4K", "Base INF", "Opt INF", "Opt/Base INF")
 	var rows []Fig10Row
@@ -158,6 +167,9 @@ type Fig11Row struct {
 // 4K/INF) and the derived log generation rates in MB/s (paper: Base
 // 840/90, Opt 48/25).
 func (s *Suite) Figure11() ([]Fig11Row, *stats.Table, error) {
+	if err := s.RecordAll(s.crossApps(s.opts.Cores, allCfgs...)); err != nil {
+		return nil, nil, err
+	}
 	t := stats.NewTable("Figure 11: uncompressed log size (bits / 1K instructions)",
 		"app", "Base 4K", "Opt 4K", "Base INF", "Opt INF")
 	var rows []Fig11Row
@@ -224,6 +236,9 @@ type Fig12Row struct {
 // representative applications, the occupancy distribution in bins of
 // 10 entries.
 func (s *Suite) Figure12() ([]Fig12Row, *stats.Table, error) {
+	if err := s.RecordAll(s.crossApps(s.opts.Cores, vmCfg{core.Opt, I4K})); err != nil {
+		return nil, nil, err
+	}
 	t := stats.NewTable("Figure 12(a): average TRAQ entries in use (of 176)", "app", "avg occupancy")
 	var rows []Fig12Row
 	var avgs []float64
@@ -244,6 +259,13 @@ func (s *Suite) Figure12() ([]Fig12Row, *stats.Table, error) {
 // Figure12Histograms renders the Figure 12(b) distributions for the
 // chosen applications.
 func (s *Suite) Figure12Histograms(apps []string) (*stats.Table, error) {
+	var specs []Spec
+	for _, app := range apps {
+		specs = append(specs, Spec{App: app, Variant: core.Opt, Mode: I4K, Cores: s.opts.Cores})
+	}
+	if err := s.RecordAll(specs); err != nil {
+		return nil, err
+	}
 	cols := []string{"bin"}
 	var hists [][]float64
 	for _, app := range apps {
@@ -293,6 +315,18 @@ type Fig13Row struct {
 // into user and OS cycles (paper averages: Opt 8.5x/6.7x for 4K/INF;
 // Base 26.2x/8.6x).
 func (s *Suite) Figure13() ([]Fig13Row, *stats.Table, error) {
+	// Warm both the recordings and their replay memos (with Verify off
+	// the replays would otherwise run serially below).
+	specs := s.crossApps(s.opts.Cores, allCfgs...)
+	if _, err := parmap(s, len(specs), func(i int) (*replay.Result, error) {
+		run, err := s.record(specs[i])
+		if err != nil {
+			return nil, err
+		}
+		return s.Replay(run)
+	}); err != nil {
+		return nil, nil, err
+	}
 	t := stats.NewTable("Figure 13: sequential replay time (normalized to parallel recording)",
 		"app", "Opt 4K", "(OS%)", "Base 4K", "(OS%)", "Opt INF", "(OS%)", "Base INF", "(OS%)")
 	var rows []Fig13Row
@@ -358,6 +392,13 @@ type Fig14Row struct {
 func (s *Suite) Figure14(coreCounts []int) ([]Fig14Row, *stats.Table, error) {
 	if coreCounts == nil {
 		coreCounts = []int{4, 8, 16}
+	}
+	var specs []Spec
+	for _, nc := range coreCounts {
+		specs = append(specs, s.crossApps(nc, allCfgs...)...)
+	}
+	if err := s.RecordAll(specs); err != nil {
+		return nil, nil, err
 	}
 	t := stats.NewTable("Figure 14: scalability with core count (averages across apps)",
 		"config", "P4 reord", "P8 reord", "P16 reord", "P4 MB/s", "P8 MB/s", "P16 MB/s")
@@ -435,6 +476,10 @@ type ParRow struct {
 // it on our logs). INF intervals are used, as in the paper's sequential
 // baseline.
 func (s *Suite) ExtensionParallelReplay() ([]ParRow, *stats.Table, error) {
+	if err := s.RecordAll(s.crossApps(s.opts.Cores,
+		vmCfg{core.Opt, INF}, vmCfg{core.Base, INF})); err != nil {
+		return nil, nil, err
+	}
 	t := stats.NewTable("Extension: parallel replay potential (INF intervals)",
 		"app", "variant", "seq replay", "par replay", "speedup", "edges/1K instr")
 	var rows []ParRow
@@ -494,14 +539,15 @@ type OverheadRow struct {
 // 11). We run each workload with and without the recorder and compare
 // cycle counts.
 func (s *Suite) Section53RecordingOverhead() ([]OverheadRow, *stats.Table, error) {
-	t := stats.NewTable("Section 5.3: recording overhead (RelaxReplay_Opt, 4K intervals)",
-		"app", "no recorder", "recording", "overhead", "TRAQ stalls")
-	var rows []OverheadRow
-	var ovs, stalls []float64
-	for _, app := range s.Apps() {
+	apps := s.Apps()
+	if err := s.RecordAll(s.crossApps(s.opts.Cores, vmCfg{core.Opt, I4K})); err != nil {
+		return nil, nil, err
+	}
+	rows, err := parmap(s, len(apps), func(i int) (OverheadRow, error) {
+		app := apps[i]
 		run, err := s.Record(app, core.Opt, I4K, s.opts.Cores)
 		if err != nil {
-			return nil, nil, err
+			return OverheadRow{}, err
 		}
 		// The same workload on the same machine without a recorder.
 		mcfg := machine.DefaultConfig(s.opts.Cores)
@@ -512,24 +558,31 @@ func (s *Suite) Section53RecordingOverhead() ([]OverheadRow, *stats.Table, error
 			m.SetInputs(i, in)
 		}
 		if err := m.Run(); err != nil {
-			return nil, nil, err
+			return OverheadRow{}, err
 		}
 		var stall, cycles uint64
 		for _, cs := range run.Res.CoreStats {
 			stall += cs.DispatchStallTRAQ
 			cycles += cs.Cycles
 		}
-		row := OverheadRow{
+		return OverheadRow{
 			App:          app,
 			PlainCycles:  m.Cycle(),
 			RecordCycles: run.Res.Cycles,
 			OverheadPct:  stats.Ratio(float64(run.Res.Cycles)-float64(m.Cycle()), float64(m.Cycle())),
 			TRAQStallPct: stats.Ratio(float64(stall), float64(cycles)),
-		}
-		rows = append(rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t := stats.NewTable("Section 5.3: recording overhead (RelaxReplay_Opt, 4K intervals)",
+		"app", "no recorder", "recording", "overhead", "TRAQ stalls")
+	var ovs, stalls []float64
+	for _, row := range rows {
 		ovs = append(ovs, row.OverheadPct)
 		stalls = append(stalls, row.TRAQStallPct)
-		t.AddRow(app, fmt.Sprint(row.PlainCycles), fmt.Sprint(row.RecordCycles),
+		t.AddRow(row.App, fmt.Sprint(row.PlainCycles), fmt.Sprint(row.RecordCycles),
 			stats.Pct(row.OverheadPct, 2), stats.Pct(row.TRAQStallPct, 2))
 	}
 	t.AddRow("average", "", "", stats.Pct(stats.Mean(ovs), 2), stats.Pct(stats.Mean(stalls), 2))
@@ -553,14 +606,12 @@ type SCNaiveRow struct {
 // detection disabled and attempt a verified replay; divergence is the
 // expected outcome wherever reordering was visible.
 func (s *Suite) MotivationSCRecorder() ([]SCNaiveRow, *stats.Table, error) {
-	t := stats.NewTable("Motivation (paper §2.2): SC-assuming chunk recorder under RC",
-		"app", "verified replay", "detail")
-	var rows []SCNaiveRow
-	diverged := 0
-	for _, app := range s.Apps() {
+	apps := s.Apps()
+	rows, err := parmap(s, len(apps), func(i int) (SCNaiveRow, error) {
+		app := apps[i]
 		k, err := workload.ByName(app)
 		if err != nil {
-			return nil, nil, err
+			return SCNaiveRow{}, err
 		}
 		w := k.Build(s.opts.Cores, s.opts.Scale)
 		rcfg := core.DefaultConfig(core.Base)
@@ -571,21 +622,27 @@ func (s *Suite) MotivationSCRecorder() ([]SCNaiveRow, *stats.Table, error) {
 			Name: w.Name, Progs: w.Progs, Inputs: w.Inputs, InitMem: w.InitMem,
 		})
 		if err != nil {
-			return nil, nil, err
+			return SCNaiveRow{}, err
 		}
 		row := SCNaiveRow{App: app}
 		row.Diverged, row.Detail = scReplayDiverges(res, w)
-		if row.Diverged {
-			diverged++
-		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t := stats.NewTable("Motivation (paper §2.2): SC-assuming chunk recorder under RC",
+		"app", "verified replay", "detail")
+	diverged := 0
+	for _, row := range rows {
 		status := "ok (no visible reorder)"
 		if row.Diverged {
+			diverged++
 			status = "DIVERGED"
 		}
-		t.AddRow(app, status, row.Detail)
-		rows = append(rows, row)
+		t.AddRow(row.App, status, row.Detail)
 	}
-	t.AddRow("", fmt.Sprintf("%d/%d apps diverge", diverged, len(s.Apps())), "")
+	t.AddRow("", fmt.Sprintf("%d/%d apps diverge", diverged, len(apps)), "")
 	return rows, t, nil
 }
 
@@ -643,12 +700,13 @@ func (s *Suite) ExtensionModelSweep() ([]ModelRow, *stats.Table, error) {
 	t := stats.NewTable("Extension: consistency-model sweep (RelaxReplay_Opt, 4K intervals)",
 		"model", "OOO loads", "reordered", "bits/1K")
 	var rows []ModelRow
+	apps := s.Apps()
 	for _, model := range []cpu.MemModel{cpu.RC, cpu.TSO, cpu.SC} {
-		var ooo, reord, bits []float64
-		for _, app := range s.Apps() {
-			k, err := workload.ByName(app)
+		type appMetrics struct{ ooo, reord, bits float64 }
+		ms, err := parmap(s, len(apps), func(i int) (appMetrics, error) {
+			k, err := workload.ByName(apps[i])
 			if err != nil {
-				return nil, nil, err
+				return appMetrics{}, err
 			}
 			w := k.Build(s.opts.Cores, s.opts.Scale)
 			mcfg := machine.DefaultConfig(s.opts.Cores)
@@ -658,18 +716,25 @@ func (s *Suite) ExtensionModelSweep() ([]ModelRow, *stats.Table, error) {
 				Name: w.Name, Progs: w.Progs, Inputs: w.Inputs, InitMem: w.InitMem,
 			})
 			if err != nil {
-				return nil, nil, err
+				return appMetrics{}, err
 			}
-			run := &Run{App: app, Cores: s.opts.Cores, W: w, Res: res}
+			run := &Run{App: apps[i], Cores: s.opts.Cores, W: w, Res: res}
 			if s.opts.Verify {
 				if _, err := s.Replay(run); err != nil {
-					return nil, nil, err
+					return appMetrics{}, err
 				}
 			}
 			l, _ := run.OOOFractions()
-			ooo = append(ooo, l)
-			reord = append(reord, run.ReorderedFraction())
-			bits = append(bits, run.BitsPer1K())
+			return appMetrics{ooo: l, reord: run.ReorderedFraction(), bits: run.BitsPer1K()}, nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		var ooo, reord, bits []float64
+		for _, m := range ms {
+			ooo = append(ooo, m.ooo)
+			reord = append(reord, m.reord)
+			bits = append(bits, m.bits)
 		}
 		row := ModelRow{Model: model, OOOLoadsPct: stats.Mean(ooo),
 			ReorderedPct: stats.Mean(reord), BitsPer1K: stats.Mean(bits)}

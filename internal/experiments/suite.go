@@ -5,10 +5,24 @@
 // and shared across figures, and — unless disabled — every recording
 // is verified by patching, replaying and comparing against the
 // recorded execution, plus the workload's own correctness oracle.
+//
+// Recordings are independent simulations, so the suite runs them
+// concurrently: Record is safe for any number of goroutines (duplicate
+// requests for the same key share one execution), and each figure
+// driver first warms the cache through a bounded worker pool
+// (Options.Parallelism workers) before assembling its table serially.
+// Results are deterministic regardless of parallelism — the same
+// recordings produce byte-identical logs and the tables are built in a
+// fixed order.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/core"
@@ -25,6 +39,16 @@ type Options struct {
 	Apps     []string // nil = all kernels
 	Verify   bool     // replay-verify every recording
 	ClockGHz float64  // for MB/s conversions (paper: 2 GHz)
+
+	// Parallelism bounds how many recordings execute concurrently in
+	// RecordAll and the figure drivers' cache-warming pass. 0 selects
+	// GOMAXPROCS; 1 runs fully serially (the pre-parallel harness).
+	Parallelism int
+
+	// Progress, when non-nil, receives one event as each cache-miss
+	// recording starts and one when it finishes. Callbacks are
+	// serialized; they may write to a terminal without interleaving.
+	Progress func(ProgressEvent)
 }
 
 // DefaultOptions mirrors the paper's default setup: 8 cores, snoopy
@@ -52,6 +76,32 @@ func (m IntervalMode) String() string {
 	return "4K"
 }
 
+// Spec identifies one recording in the suite's (app, variant,
+// interval-mode, core-count) cross-product.
+type Spec struct {
+	App     string
+	Variant core.Variant
+	Mode    IntervalMode
+	Cores   int
+}
+
+func (sp Spec) String() string {
+	return fmt.Sprintf("%s/%v/%v/p%d", sp.App, sp.Variant, sp.Mode, sp.Cores)
+}
+
+// ProgressEvent reports the lifecycle of one executed (cache-miss)
+// recording. Started and Completed are suite-wide execution counts at
+// the time of the event, so "[Completed/Started]" reads as a live
+// progress ratio that converges when the pool drains.
+type ProgressEvent struct {
+	Spec      Spec
+	Done      bool          // false: the run just started; true: it finished
+	Err       error         // only set when Done
+	Duration  time.Duration // only set when Done
+	Started   int
+	Completed int
+}
+
 // Run is one cached recording (plus its replay, once computed).
 type Run struct {
 	App     string
@@ -62,20 +112,30 @@ type Run struct {
 	W   workload.Workload
 	Res *core.Result
 
-	rep *replay.Result
+	repMu  sync.Mutex
+	rep    *replay.Result
+	repErr error
 }
 
-type runKey struct {
-	app     string
-	variant core.Variant
-	mode    IntervalMode
-	cores   int
+// cacheEntry is the singleflight slot for one Spec: the first
+// requester executes the recording, everyone else blocks on done.
+type cacheEntry struct {
+	done chan struct{}
+	run  *Run
+	err  error
 }
 
-// Suite caches recording runs across figures.
+// Suite caches recording runs across figures. All methods are safe for
+// concurrent use.
 type Suite struct {
-	opts  Options
-	cache map[runKey]*Run
+	opts Options
+
+	mu    sync.Mutex
+	cache map[Spec]*cacheEntry
+
+	progMu    sync.Mutex
+	started   int
+	completed int
 }
 
 // NewSuite builds a suite.
@@ -89,7 +149,7 @@ func NewSuite(opts Options) *Suite {
 	if opts.ClockGHz == 0 {
 		opts.ClockGHz = 2.0
 	}
-	return &Suite{opts: opts, cache: make(map[runKey]*Run)}
+	return &Suite{opts: opts, cache: make(map[Spec]*cacheEntry)}
 }
 
 // Apps returns the kernel names the suite runs.
@@ -107,51 +167,221 @@ func (s *Suite) Apps() []string {
 // Options returns the suite options.
 func (s *Suite) Options() Options { return s.opts }
 
-// Record returns the cached recording for (app, variant, mode, cores),
-// running it on first use.
-func (s *Suite) Record(app string, v core.Variant, mode IntervalMode, cores int) (*Run, error) {
-	key := runKey{app, v, mode, cores}
-	if r, ok := s.cache[key]; ok {
-		return r, nil
+// ParseApps splits a comma-separated kernel list, trims whitespace,
+// drops empty entries, and validates every name against the known
+// kernels, so "fft, lu" works and a typo fails up front with the
+// catalogue in the error.
+func ParseApps(csv string) ([]string, error) {
+	var out []string
+	for _, a := range strings.Split(csv, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if _, err := workload.ByName(a); err != nil {
+			var known []string
+			for _, k := range workload.Kernels() {
+				known = append(known, k.Name)
+			}
+			return nil, fmt.Errorf("experiments: unknown kernel %q (known: %s)",
+				a, strings.Join(known, ", "))
+		}
+		out = append(out, a)
 	}
-	k, err := workload.ByName(app)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: app list %q names no kernels", csv)
+	}
+	return out, nil
+}
+
+// parallelism resolves Options.Parallelism to a worker count.
+func (s *Suite) parallelism() int {
+	if s.opts.Parallelism > 0 {
+		return s.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Record returns the cached recording for (app, variant, mode, cores),
+// running it on first use. Concurrent callers requesting the same key
+// share a single execution.
+func (s *Suite) Record(app string, v core.Variant, mode IntervalMode, cores int) (*Run, error) {
+	return s.record(Spec{App: app, Variant: v, Mode: mode, Cores: cores})
+}
+
+func (s *Suite) record(spec Spec) (*Run, error) {
+	s.mu.Lock()
+	if e, ok := s.cache[spec]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.run, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	s.cache[spec] = e
+	s.mu.Unlock()
+
+	s.noteStart(spec)
+	begin := time.Now()
+	e.run, e.err = s.execute(spec)
+	close(e.done)
+	s.noteDone(spec, e.err, time.Since(begin))
+	return e.run, e.err
+}
+
+// execute performs one recording (and, with Verify on, its oracle
+// check and replay verification). It touches no Suite state, so any
+// number of executions may run concurrently.
+func (s *Suite) execute(spec Spec) (*Run, error) {
+	k, err := workload.ByName(spec.App)
 	if err != nil {
 		return nil, err
 	}
-	w := k.Build(cores, s.opts.Scale)
-	rcfg := core.DefaultConfig(v)
-	if mode == INF {
+	w := k.Build(spec.Cores, s.opts.Scale)
+	rcfg := core.DefaultConfig(spec.Variant)
+	if spec.Mode == INF {
 		rcfg.MaxIntervalInstrs = 0
 	}
-	mcfg := machine.DefaultConfig(cores)
+	mcfg := machine.DefaultConfig(spec.Cores)
 	mcfg.Mem.Protocol = s.opts.Protocol
 	res, err := core.Record(mcfg, rcfg, core.Workload{
 		Name: w.Name, Progs: w.Progs, Inputs: w.Inputs, InitMem: w.InitMem,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%v/%v: %w", app, v, mode, err)
+		return nil, fmt.Errorf("experiments: %s/%v/%v: %w", spec.App, spec.Variant, spec.Mode, err)
 	}
-	run := &Run{App: app, Variant: v, Mode: mode, Cores: cores, W: w, Res: res}
+	run := &Run{App: spec.App, Variant: spec.Variant, Mode: spec.Mode, Cores: spec.Cores, W: w, Res: res}
 	if s.opts.Verify {
 		if w.Check != nil {
 			if err := w.Check(res.FinalMemory); err != nil {
-				return nil, fmt.Errorf("experiments: %s oracle: %w", app, err)
+				return nil, fmt.Errorf("experiments: %s oracle: %w", spec.App, err)
 			}
 		}
 		if _, err := s.Replay(run); err != nil {
 			return nil, err
 		}
 	}
-	s.cache[key] = run
 	return run, nil
 }
 
-// Replay patches, replays and verifies a recording, returning the
-// (cached) replay result with its modeled timing.
-func (s *Suite) Replay(run *Run) (*replay.Result, error) {
-	if run.rep != nil {
-		return run.rep, nil
+func (s *Suite) noteStart(spec Spec) {
+	if s.opts.Progress == nil {
+		return
 	}
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	s.started++
+	s.opts.Progress(ProgressEvent{Spec: spec, Started: s.started, Completed: s.completed})
+}
+
+func (s *Suite) noteDone(spec Spec, err error, d time.Duration) {
+	if s.opts.Progress == nil {
+		return
+	}
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	s.completed++
+	s.opts.Progress(ProgressEvent{
+		Spec: spec, Done: true, Err: err, Duration: d,
+		Started: s.started, Completed: s.completed,
+	})
+}
+
+// RecordAll pre-records every spec through a worker pool of
+// Options.Parallelism goroutines, deduplicating against the cache (and
+// within the list). All specs are attempted; the first error in spec
+// order is returned.
+func (s *Suite) RecordAll(specs []Spec) error {
+	seen := make(map[Spec]bool, len(specs))
+	todo := make([]Spec, 0, len(specs))
+	for _, sp := range specs {
+		if !seen[sp] {
+			seen[sp] = true
+			todo = append(todo, sp)
+		}
+	}
+	_, err := parmap(s, len(todo), func(i int) (*Run, error) { return s.record(todo[i]) })
+	return err
+}
+
+// parmap applies f to 0..n-1 on the suite's worker pool and returns
+// the results in index order, so callers assemble deterministic output
+// from possibly-concurrent work. All indices run even after a failure;
+// the first error by index wins (matching what a serial loop reports).
+func parmap[T any](s *Suite, n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	workers := s.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if out[i], err = f(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// crossApps builds the suite-apps × configs cross-product at one core
+// count — the warm set most figures need.
+func (s *Suite) crossApps(cores int, cfgs ...vmCfg) []Spec {
+	var specs []Spec
+	for _, app := range s.Apps() {
+		for _, c := range cfgs {
+			specs = append(specs, Spec{App: app, Variant: c.v, Mode: c.m, Cores: cores})
+		}
+	}
+	return specs
+}
+
+// vmCfg is a (variant, interval-mode) pair.
+type vmCfg struct {
+	v core.Variant
+	m IntervalMode
+}
+
+// allCfgs is the paper's full 2x2 recording matrix.
+var allCfgs = []vmCfg{{core.Base, I4K}, {core.Opt, I4K}, {core.Base, INF}, {core.Opt, INF}}
+
+// Replay patches, replays and verifies a recording, returning the
+// (cached) replay result with its modeled timing. Safe for concurrent
+// callers; the replay executes once and the outcome is memoized.
+func (s *Suite) Replay(run *Run) (*replay.Result, error) {
+	run.repMu.Lock()
+	defer run.repMu.Unlock()
+	if run.rep != nil || run.repErr != nil {
+		return run.rep, run.repErr
+	}
+	run.rep, run.repErr = s.replayRun(run)
+	return run.rep, run.repErr
+}
+
+func (s *Suite) replayRun(run *Run) (*replay.Result, error) {
 	patched, err := run.Res.Log.Patch()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: patch %s: %w", run.App, err)
@@ -179,7 +409,6 @@ func (s *Suite) Replay(run *Run) (*replay.Result, error) {
 	if err := replay.Verify(rep, run.Res.FinalMemory, run.Res.FinalRegs, retired); err != nil {
 		return nil, fmt.Errorf("experiments: %s/%v/%v: %w", run.App, run.Variant, run.Mode, err)
 	}
-	run.rep = rep
 	return rep, nil
 }
 

@@ -63,7 +63,12 @@ func (t *Table) String() string {
 	for _, w := range width {
 		total += w + 2
 	}
-	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	// A table with no columns has total = 0; render an empty separator
+	// instead of handing strings.Repeat a negative count.
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+	}
+	b.WriteByte('\n')
 	for _, row := range t.rows {
 		line(row)
 	}

@@ -56,3 +56,16 @@ func TestMeanAndRatio(t *testing.T) {
 		t.Fatal("ratio")
 	}
 }
+
+func TestZeroColumnTableRenders(t *testing.T) {
+	empty := NewTable("no columns")
+	if got := empty.String(); got != "no columns\n\n\n" {
+		t.Fatalf("zero-column render = %q", got)
+	}
+	// Rows added to a zero-column table must not panic either.
+	empty.AddRow()
+	_ = empty.String()
+
+	untitled := NewTable("")
+	_ = untitled.String()
+}

@@ -170,6 +170,19 @@ func (c Config) machineConfig() machine.Config {
 	return m
 }
 
+// Validate checks the configuration without running anything: the core
+// count must be positive and the derived recorder geometry structurally
+// sound (TRAQ and NMI capacities at least 1, non-negative buffer and
+// signature sizes — see internal/core.Config.Validate). Record calls
+// it, so an invalid Config fails fast with a descriptive error instead
+// of panicking mid-simulation.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("relaxreplay: config needs Cores > 0 (start from DefaultConfig)")
+	}
+	return c.recorderConfig().Validate()
+}
+
 func (c Config) recorderConfig() core.Config {
 	v := core.Base
 	if c.Variant == Opt {
@@ -180,16 +193,18 @@ func (c Config) recorderConfig() core.Config {
 	if c.Ordering == Lamport {
 		r.Ordering = core.OrderingLamport
 	}
-	if c.TRAQSize > 0 {
+	// 0 means "use the paper default"; negative values flow through so
+	// Validate reports them instead of silently falling back.
+	if c.TRAQSize != 0 {
 		r.TRAQSize = c.TRAQSize
 	}
-	if c.SnoopTableArrays > 0 {
+	if c.SnoopTableArrays != 0 {
 		r.SnoopArrays = c.SnoopTableArrays
 	}
-	if c.SnoopTableEntries > 0 {
+	if c.SnoopTableEntries != 0 {
 		r.SnoopEntries = c.SnoopTableEntries
 	}
-	if c.SignatureBits > 0 {
+	if c.SignatureBits != 0 {
 		r.SigBits = c.SignatureBits
 	}
 	return r
@@ -228,8 +243,8 @@ type Recording struct {
 // Record runs the workload on the simulated multicore with a
 // RelaxReplay recorder on every core and returns the recording.
 func Record(cfg Config, w Workload) (*Recording, error) {
-	if cfg.Cores <= 0 {
-		return nil, fmt.Errorf("relaxreplay: config needs Cores > 0 (start from DefaultConfig)")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if len(w.Progs) != cfg.Cores {
 		return nil, fmt.Errorf("relaxreplay: workload has %d programs for %d cores", len(w.Progs), cfg.Cores)

@@ -157,6 +157,26 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Record(cfg, Workload{Progs: make([]Program, 3)}); err == nil {
 		t.Fatal("program/core mismatch accepted")
 	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	// Bad recorder geometry fails fast with a descriptive error, not a
+	// runtime panic mid-simulation.
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.TRAQSize = -1 },
+		func(c *Config) { c.SnoopTableEntries = -4 },
+		func(c *Config) { c.SignatureBits = -8 },
+		func(c *Config) { c.Cores = -2 },
+	} {
+		bad := DefaultConfig()
+		mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+		if _, err := Record(bad, MustKernel("fft", 8, 1)); err == nil {
+			t.Fatal("Record accepted invalid geometry")
+		}
+	}
 }
 
 func TestKernelRegistryExposed(t *testing.T) {
