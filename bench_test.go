@@ -18,6 +18,17 @@ import (
 // Ablation benchmarks at the bottom sweep the design parameters called
 // out in DESIGN.md §5.
 
+// skipInShort keeps `go test -short -bench=.` (the CI bench smoke) to
+// the cheap end of the suite: each figure benchmark records dozens of
+// full simulations. BenchmarkTable1 stays, so the smoke still runs one
+// complete recording.
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("full-suite benchmark; skipped in -short")
+	}
+}
+
 func benchSuite(scale int) *experiments.Suite {
 	opts := experiments.DefaultOptions()
 	opts.Scale = scale
@@ -41,6 +52,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig1 measures the fraction of memory accesses performed out
 // of program order (paper: 59% loads, 3% stores on average).
 func BenchmarkFig1(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		s := benchSuite(2)
 		rows, _, err := s.Figure1()
@@ -56,6 +68,7 @@ func BenchmarkFig1(b *testing.B) {
 // BenchmarkFig9 measures the fraction of accesses logged as reordered
 // (paper averages: Base 1.7%/0.17% at 4K/INF, Opt 0.03%).
 func BenchmarkFig9(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		s := benchSuite(2)
 		rows, _, err := s.Figure9()
@@ -73,6 +86,7 @@ func BenchmarkFig9(b *testing.B) {
 // BenchmarkFig10 measures InorderBlock entries, Opt normalized to Base
 // (paper averages: 13% at 4K, 48% at INF).
 func BenchmarkFig10(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		s := benchSuite(2)
 		rows, _, err := s.Figure10()
@@ -88,6 +102,7 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkFig11 measures uncompressed log bits per 1K instructions
 // (paper averages: Base 360/42, Opt 22/12 at 4K/INF) and the log rate.
 func BenchmarkFig11(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		s := benchSuite(2)
 		rows, _, err := s.Figure11()
@@ -105,6 +120,7 @@ func BenchmarkFig11(b *testing.B) {
 // BenchmarkFig12 measures TRAQ occupancy (paper: average below 64 of
 // 176 entries everywhere).
 func BenchmarkFig12(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		s := benchSuite(2)
 		rows, _, err := s.Figure12()
@@ -127,6 +143,7 @@ func BenchmarkFig12(b *testing.B) {
 // parallel recording (paper averages: Opt 8.5x/6.7x, Base 26.2x/8.6x
 // at 4K/INF), verifying determinism of every replay.
 func BenchmarkFig13(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		s := benchSuite(2)
 		rows, _, err := s.Figure13()
@@ -152,6 +169,7 @@ func BenchmarkFig13(b *testing.B) {
 // reordered fraction and log rate grow with core count, not
 // exponentially).
 func BenchmarkFig14(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		s := benchSuite(1)
 		rows, _, err := s.Figure14([]int{4, 8, 16})
@@ -176,6 +194,7 @@ func BenchmarkFig14(b *testing.B) {
 // determinism test in internal/experiments).
 func benchWarm(b *testing.B, parallelism int) {
 	b.Helper()
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		opts := experiments.DefaultOptions()
 		opts.Scale = 1
@@ -221,6 +240,7 @@ func ablationRecord(b *testing.B, cfg Config, app, label string) {
 // BenchmarkAblationSnoopTable sweeps the Snoop Table geometry: smaller
 // tables alias more and declare more accesses reordered.
 func BenchmarkAblationSnoopTable(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		for _, entries := range []int{8, 16, 64, 256} {
 			cfg := DefaultConfig()
@@ -234,6 +254,7 @@ func BenchmarkAblationSnoopTable(b *testing.B) {
 // BenchmarkAblationIntervalSize sweeps the maximum interval size
 // between the paper's 4K and INF endpoints.
 func BenchmarkAblationIntervalSize(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		for _, max := range []uint64{256, 1024, 4096, 16384, 0} {
 			cfg := DefaultConfig()
@@ -253,6 +274,7 @@ func BenchmarkAblationIntervalSize(b *testing.B) {
 // small signatures): tighter Bloom filters terminate intervals on
 // false conflicts and inflate the log.
 func BenchmarkAblationSignatureBits(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		for _, bits := range []int{64, 256, 1024} {
 			cfg := DefaultConfig()
@@ -266,6 +288,7 @@ func BenchmarkAblationSignatureBits(b *testing.B) {
 // BenchmarkAblationTRAQDepth sweeps the TRAQ size: small queues stall
 // dispatch (paper §5.3 argues 176 entries leave stalls negligible).
 func BenchmarkAblationTRAQDepth(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		for _, size := range []int{16, 64, 176} {
 			cfg := DefaultConfig()
@@ -287,6 +310,7 @@ func BenchmarkAblationTRAQDepth(b *testing.B) {
 // BenchmarkRecordingOverhead measures simulator throughput for the
 // recording path itself (instructions simulated per second).
 func BenchmarkRecordingOverhead(b *testing.B) {
+	skipInShort(b)
 	cfg := DefaultConfig()
 	cfg.Cores = 8
 	w := MustKernel("ocean", cfg.Cores, 2)
@@ -307,6 +331,7 @@ func BenchmarkRecordingOverhead(b *testing.B) {
 // stage lengthens the perform-to-count window and inflates reordered
 // accesses.
 func BenchmarkAblationCountBandwidth(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		for _, bw := range []int{1, 2, 4} {
 			rcfg := core.DefaultConfig(core.Opt)

@@ -27,20 +27,26 @@
 // GOMAXPROCS; -j 1 reproduces the serial harness). Output is
 // deterministic regardless of -j: recordings are independent
 // simulations and every table is assembled in a fixed order. Progress
-// is reported on stderr as recordings start and finish; -quiet
-// silences it. Every recording is replay-verified against the recorded
-// execution unless -noverify is given.
+// is a periodic one-line ETA summary on stderr (failures are always
+// reported); -quiet silences it. Every recording is replay-verified
+// against the recorded execution unless -noverify is given.
+//
+// -metrics writes the run's full metrics report (all simulator layers
+// plus the suite's own accounting); -trace writes a Chrome trace_event
+// timeline of the executed recordings; -pprof serves net/http/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/experiments"
+	"relaxreplay/internal/telemetry"
 )
 
 // knownFigs lists the accepted -fig names in presentation order.
@@ -57,7 +63,9 @@ func main() {
 	figs := flag.String("fig", "all", "figures to regenerate (comma-separated; see doc)")
 	jobs := flag.Int("j", 0, "max concurrent recordings (0 = GOMAXPROCS, 1 = serial)")
 	noverify := flag.Bool("noverify", false, "skip replay verification of each recording")
-	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
+	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
+	var tf telemetry.Flags
+	tf.Register(nil)
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -80,21 +88,53 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown protocol %q", *protocol))
 	}
+	tel, err := tf.New(*cores)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Telemetry = tel
 	if !*quiet {
+		// The ETA line is derived from the suite's telemetry counters
+		// (runs completed, mean run duration); when the user did not ask
+		// for a metrics report, a private registry feeds just this line.
+		etaTel := tel
+		if etaTel == nil {
+			etaTel = telemetry.New(telemetry.Options{Shards: *cores})
+			opts.Telemetry = etaTel
+		}
+		reg := etaTel.Registry()
+		completed := reg.Counter("suite.runs_completed")
+		failed := reg.Counter("suite.runs_failed")
+		runMillis := reg.Histogram("suite.run_duration_ms")
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 		start := time.Now()
+		lastLine := start
 		opts.Progress = func(ev experiments.ProgressEvent) {
 			if !ev.Done {
-				fmt.Fprintf(os.Stderr, "rrbench: [%d/%d] record %v ...\n",
-					ev.Completed, ev.Started, ev.Spec)
 				return
 			}
-			status := "done"
 			if ev.Err != nil {
-				status = "FAILED"
+				fmt.Fprintf(os.Stderr, "rrbench: %v FAILED: %v\n", ev.Spec, ev.Err)
 			}
-			fmt.Fprintf(os.Stderr, "rrbench: [%d/%d] %v %s in %.1fs (%.0fs elapsed)\n",
-				ev.Completed, ev.Started, ev.Spec, status,
-				ev.Duration.Seconds(), time.Since(start).Seconds())
+			// One summary line at most every 2 seconds (plus the final
+			// converged state when the pool drains).
+			if time.Since(lastLine) < 2*time.Second && ev.Completed != ev.Started {
+				return
+			}
+			lastLine = time.Now()
+			done, fails := completed.Value(), failed.Value()
+			mean := runMillis.Mean() / 1e3
+			pending := uint64(ev.Started) - uint64(ev.Completed)
+			eta := mean * float64(pending) / float64(workers)
+			line := fmt.Sprintf("rrbench: %d/%d runs done, mean %.1fs/run, ~%.0fs left (%.0fs elapsed)",
+				done, ev.Started, mean, eta, time.Since(start).Seconds())
+			if fails > 0 {
+				line += fmt.Sprintf(", %d FAILED", fails)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 
@@ -185,6 +225,10 @@ func main() {
 		_, t, err := s.ExtensionModelSweep()
 		return show2(t, err)
 	})
+
+	if err := tf.Flush(tel); err != nil {
+		fatal(err)
+	}
 }
 
 func show2(t fmt.Stringer, err error) error {

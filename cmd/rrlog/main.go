@@ -3,10 +3,15 @@
 // Usage:
 //
 //	rrlog -log fft.rrlog [-dump] [-core 3] [-patch]
+//	      [-metrics report.txt] [-trace trace.json]
 //
 // Without -dump it prints summary statistics (per-core interval and
 // entry counts, size accounting, reorder histogram). With -dump it
-// prints every interval record in a readable form.
+// prints every interval record in a readable form. -metrics writes the
+// log's entry-type accounting as a metrics report; -trace exports the
+// recorded interval timeline (reconstructed from the logged interval
+// timestamps) as Chrome trace_event JSON for chrome://tracing or
+// Perfetto.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"relaxreplay"
 	"relaxreplay/internal/replaylog"
 	"relaxreplay/internal/stats"
+	"relaxreplay/internal/telemetry"
 )
 
 func main() {
@@ -24,6 +30,8 @@ func main() {
 	dump := flag.Bool("dump", false, "dump every interval record")
 	onlyCore := flag.Int("core", -1, "restrict -dump to one core")
 	patch := flag.Bool("patch", false, "apply the patching pass before inspecting")
+	var tf telemetry.Flags
+	tf.Register(nil)
 	flag.Parse()
 
 	if *logPath == "" {
@@ -78,6 +86,17 @@ func main() {
 	fmt.Println()
 	fmt.Println(t)
 
+	tel, err := tf.New(log.Cores)
+	if err != nil {
+		fatal(err)
+	}
+	if tel != nil {
+		logTelemetry(tel, log)
+		if err := tf.Flush(tel); err != nil {
+			fatal(err)
+		}
+	}
+
 	if !*dump {
 		return
 	}
@@ -108,6 +127,60 @@ func main() {
 				case replaylog.Dummy:
 					fmt.Printf("  Dummy             (skip one store)\n")
 				}
+			}
+		}
+	}
+}
+
+// logTelemetry fills the registry with the log's entry-type accounting
+// and, when tracing is on, reconstructs the recorded interval timeline
+// from the logged interval timestamps: each interval becomes a
+// complete event spanning from the core's previous interval timestamp
+// to its own.
+func logTelemetry(tel *telemetry.Telemetry, log *relaxreplay.Log) {
+	reg := tel.Registry()
+	intervals := reg.Counter("log.intervals")
+	blocks := reg.Counter("log.entries.inorder_blocks")
+	reordLd := reg.Counter("log.entries.reordered_loads")
+	reordSt := reg.Counter("log.entries.reordered_stores")
+	reordAmo := reg.Counter("log.entries.reordered_atomics")
+	patchedSt := reg.Counter("log.entries.patched_stores")
+	dummies := reg.Counter("log.entries.dummies")
+	ivInstrs := reg.Histogram("log.interval_instrs")
+
+	tr := tel.Tracer()
+	if tr.Enabled() {
+		tr.NameProcess(telemetry.PidRecord, "recorded timeline")
+	}
+	for _, s := range log.Streams {
+		if tr.Enabled() {
+			tr.NameThread(telemetry.PidRecord, s.Core, fmt.Sprintf("core %d", s.Core))
+		}
+		var prev uint64
+		for i := range s.Intervals {
+			iv := &s.Intervals[i]
+			intervals.Inc(s.Core)
+			ivInstrs.Observe(s.Core, iv.Instructions())
+			for _, e := range iv.Entries {
+				switch e.Type {
+				case replaylog.InorderBlock:
+					blocks.Inc(s.Core)
+				case replaylog.ReorderedLoad:
+					reordLd.Inc(s.Core)
+				case replaylog.ReorderedStore:
+					reordSt.Inc(s.Core)
+				case replaylog.ReorderedAtomic:
+					reordAmo.Inc(s.Core)
+				case replaylog.PatchedStore:
+					patchedSt.Inc(s.Core)
+				case replaylog.Dummy:
+					dummies.Inc(s.Core)
+				}
+			}
+			if tr.Enabled() {
+				tr.Complete(telemetry.PidRecord, s.Core, "log", "interval", prev, iv.Timestamp,
+					map[string]any{"cisn": iv.CISN, "instrs": iv.Instructions(), "entries": len(iv.Entries)})
+				prev = iv.Timestamp
 			}
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"relaxreplay"
+	"relaxreplay/internal/telemetry"
 )
 
 func main() {
@@ -22,6 +23,8 @@ func main() {
 	app := flag.String("app", "fft", "workload recorded: kernel name or litmus:<name>")
 	cores := flag.Int("cores", 8, "core count used at recording")
 	scale := flag.Int("scale", 3, "problem scale used at recording")
+	var tf telemetry.Flags
+	tf.Register(nil)
 	flag.Parse()
 
 	if *logPath == "" {
@@ -56,7 +59,11 @@ func main() {
 			log.Cores, len(w.Progs)))
 	}
 
-	rep, err := relaxreplay.ReplayLog(log, w)
+	tel, err := tf.New(log.Cores)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := relaxreplay.ReplayLogWith(log, w, tel)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,6 +74,9 @@ func main() {
 			fatal(fmt.Errorf("replayed memory fails the workload oracle: %w", err))
 		}
 		fmt.Println("replayed memory passes the workload oracle")
+	}
+	if err := tf.Flush(tel); err != nil {
+		fatal(err)
 	}
 }
 

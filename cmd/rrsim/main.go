@@ -19,9 +19,12 @@ import (
 	"strings"
 
 	"relaxreplay"
+	"relaxreplay/internal/telemetry"
 )
 
 func main() {
+	var tf telemetry.Flags
+	tf.Register(nil)
 	app := flag.String("app", "fft", "workload: kernel name or litmus:<name>")
 	files := flag.String("file", "", "run assembly file(s) instead of -app (comma-separated: one per core, or one file replicated)")
 	cores := flag.Int("cores", 8, "number of simulated cores (kernels only)")
@@ -117,6 +120,12 @@ func main() {
 		}
 	}
 
+	tel, err := tf.New(cfg.Cores)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Telemetry = tel
+
 	rec, err := relaxreplay.Record(cfg, w)
 	if err != nil {
 		fatal(err)
@@ -155,6 +164,10 @@ func main() {
 		}
 		st, _ := f.Stat()
 		fmt.Printf("wrote %s (%d bytes on disk)\n", *out, st.Size())
+	}
+
+	if err := tf.Flush(tel); err != nil {
+		fatal(err)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"relaxreplay/internal/interconnect"
+	"relaxreplay/internal/telemetry"
 )
 
 // Line geometry (paper Table 1: 32-byte lines, 8-byte words).
@@ -78,6 +79,11 @@ type Config struct {
 	L2Lat      uint64 // L2 lookup latency, cycles
 	L2Capacity int    // resident lines (latency model); 512KB per core
 	MemLat     uint64 // additional latency for a non-resident line
+
+	// Telemetry, when non-nil, receives the memory-system counters and
+	// the MSHR occupancy histogram (metric names under "coherence.").
+	// It observes only: simulation behaviour is identical without it.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns the paper's Table 1 memory system for the
@@ -221,6 +227,49 @@ type System struct {
 	OnHint func(core int, hint uint64)
 
 	Stats Stats
+	tel   memTelem
+}
+
+// memTelem holds the memory system's pre-resolved telemetry handles.
+// The zero value (all nil) is the disabled state: every call is a
+// no-op.
+type memTelem struct {
+	l1Hits        *telemetry.Counter
+	l1Misses      *telemetry.Counter
+	upgrades      *telemetry.Counter
+	mshrRejects   *telemetry.Counter
+	dirtyEvicts   *telemetry.Counter
+	cacheToCache  *telemetry.Counter
+	l2Misses      *telemetry.Counter
+	invalidations *telemetry.Counter
+	snoops        *telemetry.Counter
+	wbSupplies    *telemetry.Counter
+	transactions  *telemetry.Counter
+
+	mshrOcc *telemetry.Histogram
+}
+
+// newMemTelem resolves the coherence-layer metric handles once at
+// system construction, keeping the hot path free of name lookups.
+func newMemTelem(t *telemetry.Telemetry) memTelem {
+	reg := t.Registry()
+	if reg == nil {
+		return memTelem{}
+	}
+	return memTelem{
+		l1Hits:        reg.Counter("coherence.l1.hits"),
+		l1Misses:      reg.Counter("coherence.l1.misses"),
+		upgrades:      reg.Counter("coherence.upgrades"),
+		mshrRejects:   reg.Counter("coherence.mshr_rejects"),
+		dirtyEvicts:   reg.Counter("coherence.dirty_evictions"),
+		cacheToCache:  reg.Counter("coherence.cache_to_cache"),
+		l2Misses:      reg.Counter("coherence.l2.misses"),
+		invalidations: reg.Counter("coherence.invalidations"),
+		snoops:        reg.Counter("coherence.snoops_observed"),
+		wbSupplies:    reg.Counter("coherence.wb_supplies"),
+		transactions:  reg.Counter("coherence.transactions"),
+		mshrOcc:       reg.Histogram("coherence.mshr_occupancy"),
+	}
 }
 
 // New builds a memory system. Core IDs are 0..cfg.Cores-1; the L2
@@ -232,6 +281,7 @@ func New(cfg Config) *System {
 	s := &System{
 		cfg:  cfg,
 		ring: interconnect.New(cfg.Cores + 1),
+		tel:  newMemTelem(cfg.Telemetry),
 	}
 	s.l1s = make([]*l1cache, cfg.Cores)
 	for i := range s.l1s {
@@ -246,6 +296,17 @@ func (s *System) Config() Config { return s.cfg }
 
 // Cycle returns the current cycle.
 func (s *System) Cycle() uint64 { return s.cycle }
+
+// MSHROccupancy returns the number of outstanding misses at core's L1,
+// for the machine's cycle-sampled telemetry tracks.
+func (s *System) MSHROccupancy(core int) int { return len(s.l1s[core].mshrs) }
+
+// RingQueueDepth returns the number of messages waiting for ring
+// injection across all stations.
+func (s *System) RingQueueDepth() int { return s.ring.QueueDepth() }
+
+// RingHops returns the cumulative number of message hops on the ring.
+func (s *System) RingHops() uint64 { return s.ring.Hops }
 
 // InitWord initializes memory before simulation starts.
 func (s *System) InitWord(addr, val uint64) {
@@ -336,6 +397,11 @@ func (s *System) Tick() {
 		ev.fn()
 	}
 	s.Stats.RingMessages = s.ring.Injected
+	if s.tel.mshrOcc != nil {
+		for i, l1 := range s.l1s {
+			s.tel.mshrOcc.Observe(i, uint64(len(l1.mshrs)))
+		}
+	}
 }
 
 // DrainPerforms returns and clears the perform events generated this cycle.
@@ -384,6 +450,7 @@ func (s *System) complete(core int, id uint64, value uint64, delay uint64) {
 
 func (s *System) observeSnoop(core int, line uint64, isWrite bool, requester int) {
 	s.Stats.SnoopsObserved++
+	s.tel.snoops.Inc(core)
 	if s.OnRemoteSnoop != nil {
 		s.OnRemoteSnoop(core, line, isWrite, requester, s.cycle)
 	}

@@ -98,16 +98,19 @@ func (c *l1cache) submit(r Request) bool {
 	case r.Kind == Load && cl != nil:
 		c.bindLoad(r, cl)
 		c.sys.Stats.L1Hits++
+		c.sys.tel.l1Hits.Inc(c.core)
 		return true
 	case r.Kind != Load && cl != nil && (cl.state == stateM || cl.state == stateE):
 		c.bindWrite(r, cl)
 		c.sys.Stats.L1Hits++
+		c.sys.tel.l1Hits.Inc(c.core)
 		return true
 	}
 
 	// Miss (or store hit on a shared line: upgrade).
 	if len(c.mshrs) >= c.sys.cfg.L1MSHRs {
 		c.sys.Stats.MSHRRejects++
+		c.sys.tel.mshrRejects.Inc(c.core)
 		return false
 	}
 	kind := reqGetS
@@ -116,8 +119,10 @@ func (c *l1cache) submit(r Request) bool {
 	}
 	if cl != nil && kind == reqGetM {
 		c.sys.Stats.Upgrades++
+		c.sys.tel.upgrades.Inc(c.core)
 	} else {
 		c.sys.Stats.L1Misses++
+		c.sys.tel.l1Misses.Inc(c.core)
 	}
 	m := &mshr{line: line, wantM: kind == reqGetM, issued: kind, waiters: []Request{r}}
 	c.mshrs[line] = m
@@ -186,6 +191,7 @@ func (c *l1cache) receive(msg interconnect.Message, final bool) {
 		if has {
 			p.ownerData, p.hasOwner = data, true
 			c.sys.Stats.CacheToCache++
+			c.sys.tel.cacheToCache.Inc(c.core)
 		} else if held {
 			p.sharerSeen = true
 		}
@@ -257,6 +263,7 @@ func (c *l1cache) snooped(line uint64, isWrite bool) (data LineData, hasData, he
 	}
 	if wb := c.wb[line]; wb != nil && !wb.superseded {
 		c.sys.Stats.WBBufferSupplies++
+		c.sys.tel.wbSupplies.Inc(c.core)
 		if isWrite {
 			wb.superseded = true
 			c.sys.Stats.SupersededWBEvents++
@@ -289,6 +296,7 @@ func (c *l1cache) grant(p *dataMsg) {
 		m.waiters = rest
 		m.issued = reqGetM
 		c.sys.Stats.Upgrades++
+		c.sys.tel.upgrades.Inc(c.core)
 		c.request(reqGetM, p.line, LineData{})
 		return
 	}
@@ -342,6 +350,7 @@ func (c *l1cache) evict(cl *cacheLine) {
 		return
 	}
 	c.sys.Stats.DirtyEvictions++
+	c.sys.tel.dirtyEvicts.Inc(c.core)
 	if wb := c.wb[cl.tag]; wb != nil {
 		// Re-eviction before the previous PutM was acknowledged:
 		// refresh the buffered data and track the extra ack.

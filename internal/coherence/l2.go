@@ -74,6 +74,7 @@ func (a *l2agent) touchResident(line uint64) uint64 {
 		return 0
 	}
 	a.sys.Stats.L2Misses++
+	a.sys.tel.l2Misses.Inc(0)
 	a.resident[line] = a.lru.PushFront(line)
 	for a.lru.Len() > a.sys.cfg.L2Capacity {
 		back := a.lru.Back()
@@ -167,6 +168,7 @@ func (a *l2agent) beginDirectory(e *dirEntry, p *reqMsg) {
 		}
 		e.pendingAcks++
 		a.sys.Stats.InvalidationsSent++
+		a.sys.tel.invalidations.Inc(p.core)
 		a.send(c, &invMsg{line: p.line, requester: p.core, isWrite: p.kind == reqGetM})
 	}
 	e.sharerSeen = e.sharers&^(1<<uint(p.core)) != 0
@@ -183,6 +185,7 @@ func (a *l2agent) ackReceived(p *ackMsg) {
 	if p.hasData {
 		e.data = p.data
 		a.sys.Stats.CacheToCache++
+		a.sys.tel.cacheToCache.Inc(p.from)
 		e.dataReadyAt = a.sys.cycle
 	}
 	if p.clockHint > e.clockHint {
@@ -234,6 +237,7 @@ func (a *l2agent) scheduleGrant(e *dirEntry) {
 			e.sharers |= 1 << uint(p.core)
 		}
 		a.sys.Stats.Transactions++
+		a.sys.tel.transactions.Inc(p.core)
 		a.send(p.core, &dataMsg{line: p.line, data: e.data, state: st, clockHint: e.clockHint})
 		a.finish(e)
 	}

@@ -18,6 +18,7 @@ import (
 	"relaxreplay/internal/bloom"
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/replaylog"
+	"relaxreplay/internal/telemetry"
 )
 
 // Variant selects between the paper's two designs.
@@ -76,6 +77,12 @@ type Config struct {
 	// the motivation experiment can demonstrate the resulting replay
 	// divergence.
 	AssumeSC bool
+
+	// Telemetry, when non-nil, receives the recorder's counters, the
+	// chunk-size/NMI histograms and the interval-lifetime trace events
+	// (metric names under "core.", trace category "core"). It observes
+	// only: recorded logs are identical with or without it.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns the paper's Table 1 recorder configuration for
@@ -216,6 +223,63 @@ type Stats struct {
 	DirtyEvictIncrements uint64
 }
 
+// recTelem holds the recorder's pre-resolved telemetry handles. The
+// zero value (all nil) is the disabled state: every call is a no-op.
+type recTelem struct {
+	intervals     *telemetry.Counter
+	termConflict  *telemetry.Counter
+	termSize      *telemetry.Counter
+	optMoves      *telemetry.Counter
+	pinned        *telemetry.Counter
+	sameInterval  *telemetry.Counter
+	reordLoads    *telemetry.Counter
+	reordStores   *telemetry.Counter
+	reordAtomics  *telemetry.Counter
+	inorderBlocks *telemetry.Counter
+	logFlushes    *telemetry.Counter
+	snoopEvicts   *telemetry.Counter
+	scReads       *telemetry.Counter
+	clockSyncs    *telemetry.Counter
+
+	chunkSize *telemetry.Histogram
+	nmiUsage  *telemetry.Histogram
+	traqOcc   *telemetry.Histogram
+
+	tracer *telemetry.Tracer // nil unless tracing is on
+}
+
+// newRecTelem resolves the recorder-layer metric handles once at
+// construction, keeping the counting stage free of name lookups.
+func newRecTelem(t *telemetry.Telemetry) recTelem {
+	reg := t.Registry()
+	if reg == nil {
+		return recTelem{}
+	}
+	rt := recTelem{
+		intervals:     reg.Counter("core.intervals"),
+		termConflict:  reg.Counter("core.terminations.conflict"),
+		termSize:      reg.Counter("core.terminations.size"),
+		optMoves:      reg.Counter("core.opt_moves"),
+		pinned:        reg.Counter("core.pinned_reorders"),
+		sameInterval:  reg.Counter("core.same_interval"),
+		reordLoads:    reg.Counter("core.reordered.loads"),
+		reordStores:   reg.Counter("core.reordered.stores"),
+		reordAtomics:  reg.Counter("core.reordered.atomics"),
+		inorderBlocks: reg.Counter("core.inorder_blocks"),
+		logFlushes:    reg.Counter("core.log_buffer_flushes"),
+		snoopEvicts:   reg.Counter("core.snooptable_evicts"),
+		scReads:       reg.Counter("core.sc_field_reads"),
+		clockSyncs:    reg.Counter("core.orderer.clock_syncs"),
+		chunkSize:     reg.Histogram("core.chunk_size"),
+		nmiUsage:      reg.Histogram("core.nmi_usage"),
+		traqOcc:       reg.Histogram("core.traq_occupancy"),
+	}
+	if tr := t.Tracer(); tr != nil && tr.Enabled() {
+		rt.tracer = tr
+	}
+	return rt
+}
+
 // Recorder is the per-core Memory Race Recorder.
 type Recorder struct {
 	core int
@@ -242,6 +306,11 @@ type Recorder struct {
 	pendingPreds []pendingPred
 	finalized    bool
 
+	tel recTelem
+	// intervalStartCycle is the cycle the current interval opened, for
+	// the interval-lifetime trace events.
+	intervalStartCycle uint64
+
 	Stats Stats
 }
 
@@ -264,6 +333,7 @@ func NewRecorder(core int, cfg Config, orderer Orderer) (*Recorder, error) {
 		cfg:     cfg,
 		orderer: orderer,
 		bySeq:   make(map[uint64]*traqEntry),
+		tel:     newRecTelem(cfg.Telemetry),
 	}
 	if cfg.Variant == Opt {
 		r.snoop = NewSnoopTable(cfg.SnoopArrays, cfg.SnoopEntries)
@@ -351,6 +421,7 @@ func (r *Recorder) Perform(seq uint64, addr uint64, isRead, isWrite bool, value,
 	e.didWrite = didWrite
 	if r.snoop != nil {
 		e.snoopCnt = r.snoop.Read(line)
+		r.tel.scReads.Inc(r.core)
 	}
 	if isWrite {
 		// Pin older uncounted same-address entries: their perform
@@ -441,6 +512,11 @@ func (r *Recorder) ObserveRemote(line uint64, isWrite bool, cycle uint64) (termi
 	}
 	if r.orderer.ConflictsRemote(line, isWrite) {
 		r.Stats.ConflictTerminations++
+		r.tel.termConflict.Inc(r.core)
+		if tr := r.tel.tracer; tr != nil {
+			tr.Instant(telemetry.PidRecord, r.core, "core", "conflict-termination", cycle,
+				map[string]any{"line": line, "write": isWrite, "cisn": r.cisn})
+		}
 		seq = r.cisn
 		r.terminate(cycle)
 		return true, seq
@@ -465,6 +541,7 @@ func (r *Recorder) OrdererClock() uint64 {
 func (r *Recorder) SyncClock(hint uint64) {
 	if s, ok := r.orderer.(interface{ Sync(uint64) }); ok {
 		s.Sync(hint)
+		r.tel.clockSyncs.Inc(r.core)
 	}
 }
 
@@ -476,16 +553,21 @@ func (r *Recorder) AddPred(seq uint64, pred replaylog.Pred) {
 	r.pendingPreds = append(r.pendingPreds, pendingPred{seq: seq, pred: pred})
 }
 
-// DirtyEvict handles a dirty-line writeback. Under directory
-// coherence the cache loses the ability to observe transactions on the
-// evicted line, so the Snoop Table self-increments to conservatively
-// declare in-flight accesses to it reordered (paper §4.3). Under the
-// snoopy protocol all transactions remain visible and no action is
-// needed.
-func (r *Recorder) DirtyEvict(line uint64, directory bool) {
+// DirtyEvict handles a dirty-line writeback at the given cycle. Under
+// directory coherence the cache loses the ability to observe
+// transactions on the evicted line, so the Snoop Table self-increments
+// to conservatively declare in-flight accesses to it reordered (paper
+// §4.3). Under the snoopy protocol all transactions remain visible and
+// no action is needed.
+func (r *Recorder) DirtyEvict(line uint64, directory bool, cycle uint64) {
 	if directory && r.snoop != nil {
 		r.snoop.Observe(line)
 		r.Stats.DirtyEvictIncrements++
+		r.tel.snoopEvicts.Inc(r.core)
+		if tr := r.tel.tracer; tr != nil {
+			tr.Instant(telemetry.PidRecord, r.core, "core", "snooptable-evict", cycle,
+				map[string]any{"line": line})
+		}
 	}
 }
 
@@ -493,6 +575,12 @@ func (r *Recorder) DirtyEvict(line uint64, directory bool) {
 // flushed and an IntervalFrame with the orderer's timestamp is logged.
 func (r *Recorder) terminate(cycle uint64) {
 	r.flushBlock()
+	r.tel.chunkSize.Observe(r.core, r.curCounted)
+	r.tel.intervals.Inc(r.core)
+	if tr := r.tel.tracer; tr != nil {
+		tr.Complete(telemetry.PidRecord, r.core, "core", "interval", r.intervalStartCycle, cycle,
+			map[string]any{"cisn": r.cisn, "instrs": r.curCounted, "entries": len(r.entries)})
+	}
 	r.intervals = append(r.intervals, replaylog.Interval{
 		Seq:       r.cisn,
 		CISN:      uint16(r.cisn),
@@ -502,6 +590,7 @@ func (r *Recorder) terminate(cycle uint64) {
 	r.entries = nil
 	r.cisn++
 	r.curCounted = 0
+	r.intervalStartCycle = cycle
 	r.orderer.Reset()
 	r.Stats.Intervals++
 }
@@ -512,6 +601,7 @@ func (r *Recorder) flushBlock() {
 	}
 	r.logEntry(replaylog.Entry{Type: replaylog.InorderBlock, Size: r.curBlock})
 	r.Stats.InorderBlocks++
+	r.tel.inorderBlocks.Inc(r.core)
 	r.curBlock = 0
 }
 
@@ -526,6 +616,7 @@ func (r *Recorder) logEntry(e replaylog.Entry) {
 	for r.logBufBits >= r.cfg.LogBufferBytes*8 {
 		r.logBufBits -= r.cfg.LogBufferBytes * 8
 		r.Stats.LogBufferFlushes++
+		r.tel.logFlushes.Inc(r.core)
 	}
 }
 
@@ -540,6 +631,7 @@ func (r *Recorder) Tick(cycle uint64) {
 		bin = len(r.Stats.TRAQOccupancyHist) - 1
 	}
 	r.Stats.TRAQOccupancyHist[bin]++
+	r.tel.traqOcc.Observe(r.core, uint64(len(r.traq)))
 
 	for n := 0; n < r.cfg.CountPerCycle && len(r.traq) > 0; n++ {
 		e := r.traq[0]
@@ -574,12 +666,15 @@ func (r *Recorder) count(e *traqEntry, cycle uint64) {
 	r.Stats.Counted += uint64(e.nmi) + 1
 	r.Stats.MemCounted++
 	r.curCounted += uint64(e.nmi) + 1
+	r.tel.nmiUsage.Observe(r.core, uint64(e.nmi))
 
 	inOrder := e.pisn == r.cisn || r.cfg.AssumeSC
 	if inOrder {
 		r.Stats.BaseSameInterval++
+		r.tel.sameInterval.Inc(r.core)
 	} else if e.pinned && r.cisn > e.pinISN && !r.cfg.UnsafeDisablePinning {
 		r.Stats.PinnedReorders++
+		r.tel.pinned.Inc(r.core)
 	} else if r.cfg.Variant == Opt && !r.snoop.Conflicts(e.line, e.snoopCnt) {
 		// No conflicting transaction observed between perform and
 		// counting: move the perform event to the counting point. The
@@ -587,6 +682,7 @@ func (r *Recorder) count(e *traqEntry, cycle uint64) {
 		// re-enters the current signatures (paper §4.2).
 		inOrder = true
 		r.Stats.OptMoves++
+		r.tel.optMoves.Inc(r.core)
 		r.orderer.NotePerform(e.line, e.kind != kindStore, e.kind != kindLoad)
 	}
 
@@ -607,21 +703,32 @@ func (r *Recorder) count(e *traqEntry, cycle uint64) {
 		// keep the log well-formed if configs get exotic.
 		panic(fmt.Sprintf("core: interval offset %d overflows 16 bits", offset))
 	}
+	var kind string
 	switch e.kind {
 	case kindLoad:
 		r.logEntry(replaylog.Entry{Type: replaylog.ReorderedLoad, Value: e.loadVal})
 		r.Stats.ReorderedLoads++
+		r.tel.reordLoads.Inc(r.core)
+		kind = "load"
 	case kindStore:
 		r.logEntry(replaylog.Entry{
 			Type: replaylog.ReorderedStore, Addr: e.addr, Value: e.storeVal, Offset: uint16(offset),
 		})
 		r.Stats.ReorderedStores++
+		r.tel.reordStores.Inc(r.core)
+		kind = "store"
 	case kindAtomic:
 		r.logEntry(replaylog.Entry{
 			Type: replaylog.ReorderedAtomic, Addr: e.addr, Value: e.loadVal,
 			StoreValue: e.storeVal, DidWrite: e.didWrite, Offset: uint16(offset),
 		})
 		r.Stats.ReorderedAtomics++
+		r.tel.reordAtomics.Inc(r.core)
+		kind = "atomic"
+	}
+	if tr := r.tel.tracer; tr != nil {
+		tr.Instant(telemetry.PidRecord, r.core, "core", "reorder", cycle,
+			map[string]any{"kind": kind, "offset": offset, "pisn": e.pisn, "cisn": r.cisn})
 	}
 	r.checkSize(cycle)
 }

@@ -381,7 +381,7 @@ func TestDirtyEvictIncrementsSnoopTableInDirectoryMode(t *testing.T) {
 	r.ObserveRemote(0x900>>5, false, 5)
 	// Directory-mode dirty eviction of the loaded line: the Snoop
 	// Table self-increments, so the load must be declared reordered.
-	r.DirtyEvict(0x100>>5, true)
+	r.DirtyEvict(0x100>>5, true, 0)
 	if r.Stats.DirtyEvictIncrements != 1 {
 		t.Fatal("dirty eviction not counted")
 	}
@@ -395,7 +395,7 @@ func TestDirtyEvictIncrementsSnoopTableInDirectoryMode(t *testing.T) {
 
 func TestDirtyEvictIgnoredInSnoopyMode(t *testing.T) {
 	r := testRecorder(Opt)
-	r.DirtyEvict(0x100>>5, false)
+	r.DirtyEvict(0x100>>5, false, 0)
 	if r.Stats.DirtyEvictIncrements != 0 {
 		t.Fatal("snoopy mode must not self-increment")
 	}

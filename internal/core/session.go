@@ -8,6 +8,7 @@ import (
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/machine"
 	"relaxreplay/internal/replaylog"
+	"relaxreplay/internal/telemetry"
 )
 
 // Workload is a multithreaded program plus its environment: one
@@ -42,6 +43,42 @@ type Session struct {
 	Recorders []*Recorder
 	workload  Workload
 	rcfg      Config
+
+	samp recSampler
+}
+
+// recSampler drives the recorder-side cycle-sampled trace tracks
+// (TRAQ occupancy and CISN per core). The zero value is disabled.
+type recSampler struct {
+	every  uint64
+	tracer *telemetry.Tracer
+
+	traq, cisn []string
+}
+
+func newRecSampler(t *telemetry.Telemetry, cores int) recSampler {
+	tr := t.Tracer()
+	if tr == nil || !tr.Enabled() || t.SampleEvery() == 0 {
+		return recSampler{}
+	}
+	s := recSampler{every: t.SampleEvery(), tracer: tr}
+	for c := 0; c < cores; c++ {
+		s.traq = append(s.traq, fmt.Sprintf("traq[c%d]", c))
+		s.cisn = append(s.cisn, fmt.Sprintf("cisn[c%d]", c))
+	}
+	return s
+}
+
+// sample emits one point on the recorder trace tracks.
+func (s *Session) sample(cycle uint64) {
+	if s.samp.every == 0 {
+		return
+	}
+	tr := s.samp.tracer
+	for i, r := range s.Recorders {
+		tr.Counter(telemetry.PidRecord, i, "core", s.samp.traq[i], cycle, uint64(r.Occupancy()))
+		tr.Counter(telemetry.PidRecord, i, "core", s.samp.cisn[i], cycle, r.CurrentISN())
+	}
 }
 
 // NewSession builds a recording session for the workload. An invalid
@@ -50,6 +87,14 @@ type Session struct {
 func NewSession(mcfg machine.Config, rcfg Config, w Workload) (*Session, error) {
 	if err := rcfg.Validate(); err != nil {
 		return nil, err
+	}
+	// Either config may carry the telemetry instance; share it so one
+	// wiring point covers both the machine and the recorders.
+	if rcfg.Telemetry == nil {
+		rcfg.Telemetry = mcfg.Telemetry
+	}
+	if mcfg.Telemetry == nil {
+		mcfg.Telemetry = rcfg.Telemetry
 	}
 	recs := make([]*Recorder, mcfg.Cores)
 	for i := range recs {
@@ -92,13 +137,16 @@ func NewSession(mcfg machine.Config, rcfg Config, w Workload) (*Session, error) 
 		}
 	}
 	m.Sys.OnDirtyEvict = func(c int, line uint64, cycle uint64) {
-		recs[c].DirtyEvict(line, directory)
+		recs[c].DirtyEvict(line, directory, cycle)
 	}
 	if rcfg.Ordering == OrderingLamport {
 		m.Sys.ClockOf = func(c int) uint64 { return recs[c].OrdererClock() }
 		m.Sys.OnHint = func(c int, hint uint64) { recs[c].SyncClock(hint) }
 	}
-	return &Session{M: m, Recorders: recs, workload: w, rcfg: rcfg}, nil
+	return &Session{
+		M: m, Recorders: recs, workload: w, rcfg: rcfg,
+		samp: newRecSampler(rcfg.Telemetry, mcfg.Cores),
+	}, nil
 }
 
 // Run records the workload to completion and returns the log.
@@ -124,12 +172,18 @@ func (s *Session) Run() (*Result, error) {
 		for _, r := range s.Recorders {
 			r.Tick(m.Cycle())
 		}
+		if s.samp.every != 0 && m.Cycle()%s.samp.every == 0 {
+			s.sample(m.Cycle())
+		}
 		for _, c := range m.Cores {
 			if err := c.Err(); err != nil {
 				return nil, fmt.Errorf("core: recording: core %d: %w", c.ID(), err)
 			}
 		}
 	}
+	// Close every sampled track at the exact end of the run.
+	m.SampleTelemetry()
+	s.sample(m.Cycle())
 
 	log := &replaylog.Log{
 		Cores:   m.Config().Cores,

@@ -42,6 +42,7 @@ type Core struct {
 
 	nonMemSinceMemRetire int
 
+	tel   coreTelem
 	Stats Stats
 }
 
@@ -57,6 +58,7 @@ func New(id int, cfg Config, prog isa.Program, mem MemPort, hooks Hooks) *Core {
 		haltSeq:   -1,
 		bySeq:     make(map[uint64]*uop),
 		predictor: make([]uint8, 1<<cfg.PredictorBits),
+		tel:       newCoreTelem(cfg.Telemetry),
 	}
 	for i := range c.predictor {
 		c.predictor[i] = 2 // weakly taken
@@ -201,6 +203,9 @@ func (c *Core) Tick(cycle uint64) {
 		return
 	}
 	c.Stats.Cycles++
+	c.tel.cycles.Inc(c.id)
+	c.tel.robOcc.Observe(c.id, uint64(len(c.rob)))
+	c.tel.lsqOcc.Observe(c.id, uint64(len(c.lsq)))
 	c.completeExecuting()
 	c.retire()
 	c.issueMem()
@@ -238,6 +243,7 @@ func (c *Core) execute(u *uop) {
 		c.finish(u, 0)
 		if taken != u.predictedTaken {
 			c.Stats.Mispredicts++
+			c.tel.mispredict.Inc(c.id)
 			c.mispredict(u, taken)
 		}
 	case ins.Op == isa.ST:
@@ -268,6 +274,7 @@ func (c *Core) squashAfter(after uint64) {
 		u.squashed = true
 		delete(c.bySeq, u.seq)
 		c.Stats.SquashedUops++
+		c.tel.squashed.Inc(c.id)
 		cut--
 	}
 	if cut == len(c.rob) {
@@ -331,6 +338,7 @@ func (c *Core) retire() {
 			}
 			if len(c.wb) >= c.cfg.WBSize {
 				c.Stats.RetireStallWB++
+				c.tel.stallWB.Inc(c.id)
 				return
 			}
 			c.wb = append(c.wb, &wbEntry{u: u})
@@ -346,6 +354,7 @@ func (c *Core) retire() {
 		case u.ins.Op == isa.HALT:
 			c.halted = true
 			c.Stats.Retired++
+			c.tel.retired.Inc(c.id)
 			c.nonMemSinceMemRetire++
 			c.rob = c.rob[1:]
 			delete(c.bySeq, u.seq)
@@ -377,11 +386,13 @@ func (c *Core) retire() {
 		}
 
 		c.Stats.Retired++
+		c.tel.retired.Inc(c.id)
 		if c.hooks.RetireInstr != nil {
 			c.hooks.RetireInstr(u.seq, u.ins.IsMem())
 		}
 		if u.ins.IsMem() {
 			c.Stats.MemRetired++
+			c.tel.memRetired.Inc(c.id)
 			c.nonMemSinceMemRetire = 0
 			switch {
 			case u.ins.IsAtomic():
@@ -446,6 +457,7 @@ func (c *Core) issueHeadOps(budget *int) {
 		})
 		if ok {
 			u.state = uopIssued
+			c.tel.issuedMem.Inc(c.id)
 			*budget--
 		}
 	case u.ins.Op == isa.IN && u.state == uopWaiting:
@@ -533,6 +545,7 @@ func (c *Core) tryIssueLoad(u *uop, storeAddrUnknown bool, budget *int) {
 		// Store-to-load forwarding from the write buffer or an
 		// unretired older store.
 		c.Stats.Forwards++
+		c.tel.forwards.Inc(c.id)
 		u.forwarded = true
 		c.markPerformed(u, c.cycle)
 		u.state = uopIssued
@@ -550,6 +563,7 @@ func (c *Core) tryIssueLoad(u *uop, storeAddrUnknown bool, budget *int) {
 		return
 	}
 	u.state = uopIssued
+	c.tel.issuedMem.Inc(c.id)
 	*budget--
 }
 
@@ -664,6 +678,7 @@ func (c *Core) drainWB(budget *int) {
 			return
 		}
 		e.issued = true
+		c.tel.issuedMem.Inc(c.id)
 		*budget--
 	}
 }
@@ -684,6 +699,7 @@ func (c *Core) issueALU() {
 		u.state = uopIssued
 		u.doneAt = c.cycle + lat
 		c.executing = append(c.executing, u)
+		c.tel.issuedALU.Inc(c.id)
 		n++
 	}
 }
@@ -700,16 +716,19 @@ func (c *Core) dispatch() {
 		}
 		if len(c.rob) >= c.cfg.ROBSize {
 			c.Stats.DispatchStallROB++
+			c.tel.stallROB.Inc(c.id)
 			return
 		}
 		ins := c.prog.Code[c.pc]
 		if (ins.IsMem() || ins.Op == isa.FENCE) && len(c.lsq) >= c.cfg.LSQSize {
 			c.Stats.DispatchStallLSQ++
+			c.tel.stallLSQ.Inc(c.id)
 			return
 		}
 		seq := c.nextSeq
 		if c.hooks.DispatchInstr != nil && !c.hooks.DispatchInstr(seq, ins) {
 			c.Stats.DispatchStallTRAQ++
+			c.tel.stallTRAQ.Inc(c.id)
 			return
 		}
 		c.nextSeq++
@@ -787,6 +806,12 @@ func (c *Core) captureSources(u *uop) {
 	if u.ins.ReadsRd() {
 		add(2, u.ins.Rd)
 	}
+}
+
+// Occupancy returns the current ROB, LSQ and write-buffer occupancy,
+// for the machine's cycle-sampled telemetry tracks.
+func (c *Core) Occupancy() (rob, lsq, wb int) {
+	return len(c.rob), len(c.lsq), len(c.wb)
 }
 
 // String summarizes the core state for debugging.

@@ -31,6 +31,7 @@ package cpu
 import (
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/isa"
+	"relaxreplay/internal/telemetry"
 )
 
 // MemModel selects the memory consistency model the core implements.
@@ -75,6 +76,11 @@ type Config struct {
 	MulLat            uint64
 	MispredictPenalty uint64
 	PredictorBits     int // 2-bit counter table of 1<<bits entries
+
+	// Telemetry, when non-nil, receives the core's counters and the
+	// ROB occupancy histogram (metric names under "cpu."). It observes
+	// only: simulation behaviour is identical with or without it.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns the paper's core configuration.
@@ -189,4 +195,50 @@ func (u *uop) isMem() bool { return u.ins.IsMem() }
 type wbEntry struct {
 	u      *uop
 	issued bool
+}
+
+// coreTelem holds the core's pre-resolved telemetry handles. The zero
+// value (all nil) is the disabled state: every call is a no-op.
+type coreTelem struct {
+	cycles     *telemetry.Counter
+	retired    *telemetry.Counter
+	memRetired *telemetry.Counter
+	issuedALU  *telemetry.Counter
+	issuedMem  *telemetry.Counter
+	mispredict *telemetry.Counter
+	squashed   *telemetry.Counter
+	forwards   *telemetry.Counter
+
+	stallROB  *telemetry.Counter
+	stallLSQ  *telemetry.Counter
+	stallTRAQ *telemetry.Counter
+	stallWB   *telemetry.Counter
+
+	robOcc *telemetry.Histogram
+	lsqOcc *telemetry.Histogram
+}
+
+// newCoreTelem resolves the cpu-layer metric handles once at core
+// construction, keeping the hot path free of name lookups.
+func newCoreTelem(t *telemetry.Telemetry) coreTelem {
+	reg := t.Registry()
+	if reg == nil {
+		return coreTelem{}
+	}
+	return coreTelem{
+		cycles:     reg.Counter("cpu.cycles"),
+		retired:    reg.Counter("cpu.retired"),
+		memRetired: reg.Counter("cpu.retired.mem"),
+		issuedALU:  reg.Counter("cpu.issued.alu"),
+		issuedMem:  reg.Counter("cpu.issued.mem"),
+		mispredict: reg.Counter("cpu.mispredicts"),
+		squashed:   reg.Counter("cpu.squashed_uops"),
+		forwards:   reg.Counter("cpu.forwards"),
+		stallROB:   reg.Counter("cpu.stall.dispatch_rob"),
+		stallLSQ:   reg.Counter("cpu.stall.dispatch_lsq"),
+		stallTRAQ:  reg.Counter("cpu.stall.dispatch_traq"),
+		stallWB:    reg.Counter("cpu.stall.retire_wb"),
+		robOcc:     reg.Histogram("cpu.rob_occupancy"),
+		lsqOcc:     reg.Histogram("cpu.lsq_occupancy"),
+	}
 }

@@ -28,6 +28,7 @@ import (
 	"relaxreplay/internal/core"
 	"relaxreplay/internal/machine"
 	"relaxreplay/internal/replay"
+	"relaxreplay/internal/telemetry"
 	"relaxreplay/internal/workload"
 )
 
@@ -49,6 +50,13 @@ type Options struct {
 	// recording starts and one when it finishes. Callbacks are
 	// serialized; they may write to a terminal without interleaving.
 	Progress func(ProgressEvent)
+
+	// Telemetry, when non-nil, instruments every recording and replay
+	// the suite executes, plus the suite's own run accounting
+	// ("suite.runs_started", "suite.runs_completed",
+	// "suite.run_duration_ms"). nil means zero overhead; tables and
+	// logs are byte-identical either way.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultOptions mirrors the paper's default setup: 8 cores, snoopy
@@ -136,6 +144,30 @@ type Suite struct {
 	progMu    sync.Mutex
 	started   int
 	completed int
+
+	tel suiteTelem
+}
+
+// suiteTelem holds the suite's run-accounting metric handles (the
+// source of rrbench's ETA line). The zero value is the disabled state.
+type suiteTelem struct {
+	started   *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	runMillis *telemetry.Histogram
+}
+
+func newSuiteTelem(t *telemetry.Telemetry) suiteTelem {
+	reg := t.Registry()
+	if reg == nil {
+		return suiteTelem{}
+	}
+	return suiteTelem{
+		started:   reg.Counter("suite.runs_started"),
+		completed: reg.Counter("suite.runs_completed"),
+		failed:    reg.Counter("suite.runs_failed"),
+		runMillis: reg.Histogram("suite.run_duration_ms"),
+	}
 }
 
 // NewSuite builds a suite.
@@ -149,7 +181,7 @@ func NewSuite(opts Options) *Suite {
 	if opts.ClockGHz == 0 {
 		opts.ClockGHz = 2.0
 	}
-	return &Suite{opts: opts, cache: make(map[Spec]*cacheEntry)}
+	return &Suite{opts: opts, cache: make(map[Spec]*cacheEntry), tel: newSuiteTelem(opts.Telemetry)}
 }
 
 // Apps returns the kernel names the suite runs.
@@ -243,6 +275,8 @@ func (s *Suite) execute(spec Spec) (*Run, error) {
 	}
 	mcfg := machine.DefaultConfig(spec.Cores)
 	mcfg.Mem.Protocol = s.opts.Protocol
+	mcfg.Telemetry = s.opts.Telemetry
+	rcfg.Telemetry = s.opts.Telemetry
 	res, err := core.Record(mcfg, rcfg, core.Workload{
 		Name: w.Name, Progs: w.Progs, Inputs: w.Inputs, InitMem: w.InitMem,
 	})
@@ -264,6 +298,7 @@ func (s *Suite) execute(spec Spec) (*Run, error) {
 }
 
 func (s *Suite) noteStart(spec Spec) {
+	s.tel.started.Inc(0)
 	if s.opts.Progress == nil {
 		return
 	}
@@ -274,6 +309,11 @@ func (s *Suite) noteStart(spec Spec) {
 }
 
 func (s *Suite) noteDone(spec Spec, err error, d time.Duration) {
+	s.tel.completed.Inc(0)
+	if err != nil {
+		s.tel.failed.Inc(0)
+	}
+	s.tel.runMillis.Observe(0, uint64(d.Milliseconds()))
 	if s.opts.Progress == nil {
 		return
 	}
@@ -394,7 +434,9 @@ func (s *Suite) replayRun(run *Run) (*replay.Result, error) {
 			cpi[c] = 1
 		}
 	}
-	rp, err := replay.New(replay.DefaultConfig(), patched, run.W.Progs, run.W.InitMem, cpi)
+	rpcfg := replay.DefaultConfig()
+	rpcfg.Telemetry = s.opts.Telemetry
+	rp, err := replay.New(rpcfg, patched, run.W.Progs, run.W.InitMem, cpi)
 	if err != nil {
 		return nil, err
 	}

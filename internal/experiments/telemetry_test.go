@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"relaxreplay/internal/core"
+	"relaxreplay/internal/replaylog"
+	"relaxreplay/internal/telemetry"
+)
+
+// Telemetry observes; it must never steer. A recording made with full
+// instrumentation (metrics + tracing) must produce a byte-identical
+// encoded log and byte-identical figure tables compared to an
+// uninstrumented run.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	base := DefaultOptions()
+	base.Cores = 4
+	base.Scale = 1
+	base.Apps = []string{"fft"}
+	plain := NewSuite(base)
+
+	instr := base
+	instr.Telemetry = telemetry.New(telemetry.Options{Shards: base.Cores, Trace: true})
+	traced := NewSuite(instr)
+
+	ra, err := plain.Record("fft", core.Opt, I4K, base.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := traced.Record("fft", core.Opt, I4K, base.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := replaylog.Encode(&ba, ra.Res.Log); err != nil {
+		t.Fatal(err)
+	}
+	if err := replaylog.Encode(&bb, rb.Res.Log); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("encoded log differs with telemetry enabled (%d vs %d bytes)", ba.Len(), bb.Len())
+	}
+
+	_, ta, err := plain.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tb, err := traced.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.String() != tb.String() {
+		t.Fatalf("Figure 9 table differs with telemetry enabled:\n--- plain ---\n%s\n--- traced ---\n%s", ta, tb)
+	}
+
+	// The instrumented side must actually have observed the work.
+	reg := instr.Telemetry.Registry()
+	if reg.Counter("suite.runs_completed").Value() == 0 {
+		t.Fatal("instrumented suite recorded no completed runs")
+	}
+	if reg.Counter("cpu.retired").Value() == 0 {
+		t.Fatal("instrumented suite retired no instructions")
+	}
+}
+
+// A parallel suite shares one sharded registry across workers; under
+// -race this verifies the instrumentation layer is data-race free end
+// to end, not just in the registry microbenchmarks.
+func TestTelemetryParallelSuiteRace(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Cores = 4
+	opts.Scale = 1
+	opts.Apps = []string{"fft", "volrend", "barnes"}
+	opts.Parallelism = 3
+	opts.Telemetry = telemetry.New(telemetry.Options{Shards: opts.Cores, Trace: true})
+	s := NewSuite(opts)
+
+	specs := s.crossApps(opts.Cores, vmCfg{core.Opt, I4K}, vmCfg{core.Base, I4K})
+	if err := s.RecordAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	reg := opts.Telemetry.Registry()
+	if got := reg.Counter("suite.runs_completed").Value(); got != uint64(len(specs)) {
+		t.Fatalf("suite.runs_completed = %d, want %d", got, len(specs))
+	}
+	if reg.Histogram("suite.run_duration_ms").Count() != uint64(len(specs)) {
+		t.Fatal("suite.run_duration_ms missing observations")
+	}
+	if len(opts.Telemetry.Tracer().Events()) == 0 {
+		t.Fatal("parallel tracing produced no events")
+	}
+}

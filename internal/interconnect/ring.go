@@ -41,6 +41,7 @@ type Ring struct {
 	// stats
 	Injected  uint64
 	Delivered uint64
+	Hops      uint64 // slot advances carrying a message
 	MaxQueue  int
 }
 
@@ -58,6 +59,27 @@ func New(n int) *Ring {
 
 // Nodes returns the number of nodes on the ring.
 func (r *Ring) Nodes() int { return r.n }
+
+// QueueDepth returns the number of messages waiting for injection
+// across all stations (the telemetry "ring queue depth" time series).
+func (r *Ring) QueueDepth() int {
+	n := 0
+	for _, q := range r.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// InFlight returns the number of occupied ring slots.
+func (r *Ring) InFlight() int {
+	n := 0
+	for _, s := range r.slots {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Send enqueues a message for injection at its Src node.
 func (r *Ring) Send(m Message) {
@@ -101,6 +123,7 @@ func (r *Ring) Tick() []Delivery {
 		p := (i + 1) % r.n
 		m.pos = p
 		next[p] = m
+		r.Hops++
 	}
 	r.slots = next
 

@@ -11,6 +11,7 @@ import (
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/cpu"
 	"relaxreplay/internal/isa"
+	"relaxreplay/internal/telemetry"
 )
 
 // Register conventions for programs started by the machine.
@@ -27,6 +28,12 @@ type Config struct {
 	CPU       cpu.Config
 	Mem       coherence.Config
 	MaxCycles uint64
+
+	// Telemetry, when non-nil, is propagated to the CPU and memory
+	// configurations and drives the machine's cycle-sampled trace
+	// tracks (ROB/LSQ/MSHR occupancy, ring queue depth). It observes
+	// only: simulation behaviour is identical with or without it.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns the paper's Table 1 machine with the given
@@ -51,6 +58,39 @@ type Machine struct {
 	// event after the owning core has processed it. The memory race
 	// recorder uses it to stamp PISNs at the true perform time.
 	PerformSink func(ev coherence.PerformEvent)
+
+	samp sampler
+}
+
+// sampler drives the cycle-sampled telemetry counter tracks. The zero
+// value (every == 0) is the disabled state. Track names are
+// precomputed so the per-sample path does not format strings; they
+// carry the core id (e.g. "rob[c3]") because Chrome keys counter
+// tracks by (pid, name).
+type sampler struct {
+	every  uint64
+	tracer *telemetry.Tracer
+
+	rob, lsq, wb, mshr []string
+}
+
+func newSampler(t *telemetry.Telemetry, cores int) sampler {
+	tr := t.Tracer()
+	if tr == nil || !tr.Enabled() || t.SampleEvery() == 0 {
+		return sampler{}
+	}
+	s := sampler{every: t.SampleEvery(), tracer: tr}
+	for c := 0; c < cores; c++ {
+		s.rob = append(s.rob, fmt.Sprintf("rob[c%d]", c))
+		s.lsq = append(s.lsq, fmt.Sprintf("lsq[c%d]", c))
+		s.wb = append(s.wb, fmt.Sprintf("wb[c%d]", c))
+		s.mshr = append(s.mshr, fmt.Sprintf("mshr[c%d]", c))
+	}
+	tr.NameProcess(telemetry.PidRecord, "record machine")
+	for c := 0; c < cores; c++ {
+		tr.NameThread(telemetry.PidRecord, c, fmt.Sprintf("core %d", c))
+	}
+	return s
 }
 
 // New builds a machine running progs[i] on core i. hookFor, which may
@@ -60,7 +100,11 @@ func New(cfg Config, progs []isa.Program, hookFor func(core int) cpu.Hooks) *Mac
 		panic(fmt.Sprintf("machine: %d programs for %d cores", len(progs), cfg.Cores))
 	}
 	cfg.Mem.Cores = cfg.Cores
-	m := &Machine{cfg: cfg, Sys: coherence.New(cfg.Mem)}
+	if cfg.Telemetry != nil {
+		cfg.CPU.Telemetry = cfg.Telemetry
+		cfg.Mem.Telemetry = cfg.Telemetry
+	}
+	m := &Machine{cfg: cfg, Sys: coherence.New(cfg.Mem), samp: newSampler(cfg.Telemetry, cfg.Cores)}
 	m.Sys.OnPerform = func(ev coherence.PerformEvent) {
 		// Synchronous routing preserves the true intra-cycle order of
 		// performs and snoops, which the recorder relies on.
@@ -108,6 +152,30 @@ func (m *Machine) Step() {
 	for _, c := range m.Cores {
 		c.Tick(m.cycle)
 	}
+	if m.samp.every != 0 && m.cycle%m.samp.every == 0 {
+		m.SampleTelemetry()
+	}
+}
+
+// SampleTelemetry emits one point on every cycle-sampled trace track
+// (ROB/LSQ/write-buffer/MSHR occupancy per core, ring queue depth).
+// Step calls it every Telemetry.SampleEvery cycles; callers may invoke
+// it directly to close the tracks at the exact end of a run. It is a
+// no-op when tracing is disabled.
+func (m *Machine) SampleTelemetry() {
+	if m.samp.every == 0 {
+		return
+	}
+	tr, cyc := m.samp.tracer, m.cycle
+	for i, c := range m.Cores {
+		rob, lsq, wb := c.Occupancy()
+		tr.Counter(telemetry.PidRecord, i, "cpu", m.samp.rob[i], cyc, uint64(rob))
+		tr.Counter(telemetry.PidRecord, i, "cpu", m.samp.lsq[i], cyc, uint64(lsq))
+		tr.Counter(telemetry.PidRecord, i, "cpu", m.samp.wb[i], cyc, uint64(wb))
+		tr.Counter(telemetry.PidRecord, i, "coherence", m.samp.mshr[i], cyc, uint64(m.Sys.MSHROccupancy(i)))
+	}
+	tr.Counter(telemetry.PidRecord, 0, "interconnect", "ring.queue", cyc, uint64(m.Sys.RingQueueDepth()))
+	tr.Counter(telemetry.PidRecord, 0, "interconnect", "ring.hops", cyc, m.Sys.RingHops())
 }
 
 // Done reports whether every core has halted and drained and the
@@ -128,7 +196,8 @@ func (m *Machine) Done() bool {
 func (m *Machine) Run() error {
 	for !m.Done() {
 		if m.cycle >= m.cfg.MaxCycles {
-			return fmt.Errorf("machine: exceeded %d cycles (deadlock?): %v", m.cfg.MaxCycles, m.describeCores())
+			m.SampleTelemetry()
+			return fmt.Errorf("machine: exceeded %d cycles (deadlock?): %v", m.cfg.MaxCycles, m.snapshotCores())
 		}
 		m.Step()
 		for _, c := range m.Cores {
@@ -137,13 +206,20 @@ func (m *Machine) Run() error {
 			}
 		}
 	}
+	m.SampleTelemetry()
 	return nil
 }
 
-func (m *Machine) describeCores() []string {
+// snapshotCores describes each core's pipeline state plus its final
+// telemetry counters (retired and stall counts), so a deadlock report
+// shows which core stopped making progress and what it stalled on.
+func (m *Machine) snapshotCores() []string {
 	out := make([]string, len(m.Cores))
 	for i, c := range m.Cores {
-		out[i] = c.String()
+		st := c.Stats
+		out[i] = fmt.Sprintf("%s retired=%d mem=%d stalls[rob=%d lsq=%d traq=%d wb=%d]",
+			c.String(), st.Retired, st.MemRetired,
+			st.DispatchStallROB, st.DispatchStallLSQ, st.DispatchStallTRAQ, st.RetireStallWB)
 	}
 	return out
 }

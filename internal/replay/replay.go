@@ -17,6 +17,7 @@ import (
 
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/replaylog"
+	"relaxreplay/internal/telemetry"
 )
 
 // Config holds the replay timing model (see DESIGN.md: the paper
@@ -36,6 +37,12 @@ type Config struct {
 	// UserCPIFactor scales the recorded per-core CPI for native replay
 	// user time (replay has no inter-core contention).
 	UserCPIFactor float64
+
+	// Telemetry, when non-nil, receives the replayer's counters and
+	// per-interval trace events on the modeled replay clock (metric
+	// names under "replay.", trace pid telemetry.PidReplay). It
+	// observes only: replay outcomes are identical with or without it.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns the calibrated timing model. The absolute
@@ -72,6 +79,48 @@ type Result struct {
 	Timing      Timing
 }
 
+// replTelem holds the replayer's pre-resolved telemetry handles. The
+// zero value (all nil) is the disabled state: every call is a no-op.
+type replTelem struct {
+	intervals     *telemetry.Counter
+	blocks        *telemetry.Counter
+	injectedLoads *telemetry.Counter
+	dummies       *telemetry.Counter
+	patchedStores *telemetry.Counter
+	instrs        *telemetry.Counter
+
+	tracer   *telemetry.Tracer // nil unless tracing is on
+	progress []string          // per-core counter track names
+	done     []uint64          // intervals replayed per core
+}
+
+// newReplTelem resolves the replay-layer metric handles once at
+// construction.
+func newReplTelem(t *telemetry.Telemetry, cores int) replTelem {
+	reg := t.Registry()
+	if reg == nil {
+		return replTelem{}
+	}
+	rt := replTelem{
+		intervals:     reg.Counter("replay.intervals"),
+		blocks:        reg.Counter("replay.blocks"),
+		injectedLoads: reg.Counter("replay.injected_loads"),
+		dummies:       reg.Counter("replay.dummies"),
+		patchedStores: reg.Counter("replay.patched_stores"),
+		instrs:        reg.Counter("replay.instrs"),
+	}
+	if tr := t.Tracer(); tr != nil && tr.Enabled() {
+		rt.tracer = tr
+		rt.done = make([]uint64, cores)
+		tr.NameProcess(telemetry.PidReplay, "replayer")
+		for c := 0; c < cores; c++ {
+			rt.progress = append(rt.progress, fmt.Sprintf("replayed[c%d]", c))
+			tr.NameThread(telemetry.PidReplay, c, fmt.Sprintf("core %d", c))
+		}
+	}
+	return rt
+}
+
 // Replayer replays one patched log.
 type Replayer struct {
 	cfg     Config
@@ -82,6 +131,8 @@ type Replayer struct {
 	// cpi is the recorded cycles-per-instruction per core, used by the
 	// timing model for native user time.
 	cpi []float64
+
+	tel replTelem
 }
 
 // New builds a replayer for a patched log. progs must be the recorded
@@ -98,7 +149,10 @@ func New(cfg Config, log *replaylog.Log, progs []isa.Program, initMem map[uint64
 	if len(progs) != log.Cores {
 		return nil, fmt.Errorf("replay: %d programs for %d cores", len(progs), log.Cores)
 	}
-	r := &Replayer{cfg: cfg, log: log, progs: progs, mem: isa.NewFlatMemory()}
+	r := &Replayer{
+		cfg: cfg, log: log, progs: progs, mem: isa.NewFlatMemory(),
+		tel: newReplTelem(cfg.Telemetry, log.Cores),
+	}
 	for a, v := range initMem {
 		r.mem.Store(a, v)
 	}
@@ -148,9 +202,20 @@ func (r *Replayer) Run() (*Result, error) {
 	var userCycles float64
 	for _, ref := range order {
 		iv := &r.log.Streams[ref.core].Intervals[ref.idx]
+		// The modeled replay clock (cumulative OS+user cycles) is the
+		// timeline the trace events are placed on.
+		start := res.Timing.OSCycles + uint64(userCycles)
 		res.Timing.OSCycles += r.cfg.IntervalSwitchCycles
 		if err := r.replayInterval(ref.core, iv, res, &userCycles); err != nil {
 			return nil, fmt.Errorf("replay: core %d interval %d (cisn %d): %w", ref.core, ref.idx, iv.CISN, err)
+		}
+		r.tel.intervals.Inc(ref.core)
+		if tr := r.tel.tracer; tr != nil {
+			end := res.Timing.OSCycles + uint64(userCycles)
+			tr.Complete(telemetry.PidReplay, ref.core, "replay", "interval", start, end,
+				map[string]any{"cisn": iv.CISN, "ts": iv.Timestamp, "entries": len(iv.Entries)})
+			r.tel.done[ref.core]++
+			tr.Counter(telemetry.PidReplay, ref.core, "replay", r.tel.progress[ref.core], end, r.tel.done[ref.core])
 		}
 	}
 	res.Timing.UserCycles = uint64(userCycles)
@@ -175,6 +240,8 @@ func (r *Replayer) replayInterval(core int, iv *replaylog.Interval, res *Result,
 			// block natively until the synchronous interrupt.
 			res.Timing.OSCycles += r.cfg.BlockInterruptCycles
 			*userCycles += float64(e.Size) * r.cpi[core] * r.cfg.UserCPIFactor
+			r.tel.blocks.Inc(core)
+			r.tel.instrs.Add(core, uint64(e.Size))
 			for i := uint32(0); i < e.Size; i++ {
 				if th.Halted {
 					return fmt.Errorf("block overruns HALT after %d of %d instructions", i, e.Size)
@@ -197,6 +264,7 @@ func (r *Replayer) replayInterval(core int, iv *replaylog.Interval, res *Result,
 			th.SetReg(ins.Rd, e.Value)
 			th.PC++
 			th.Instret++
+			r.tel.injectedLoads.Inc(core)
 		case replaylog.Dummy:
 			// The store already executed in its perform interval.
 			res.Timing.OSCycles += r.cfg.EntryEmulationCycles
@@ -209,11 +277,13 @@ func (r *Replayer) replayInterval(core int, iv *replaylog.Interval, res *Result,
 			}
 			th.PC++
 			th.Instret++
+			r.tel.dummies.Inc(core)
 		case replaylog.PatchedStore:
 			// Performed here during recording; apply without touching
 			// the program counter.
 			res.Timing.OSCycles += r.cfg.EntryEmulationCycles
 			r.mem.Store(e.Addr, e.Value)
+			r.tel.patchedStores.Inc(core)
 		default:
 			return fmt.Errorf("unexpected entry type %v in patched log", e.Type)
 		}

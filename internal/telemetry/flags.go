@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Flags is the standard telemetry CLI surface shared by the cmd/
+// tools: -metrics, -trace and -pprof. Register binds the three flags
+// on a FlagSet; after flag parsing, New builds the (possibly nil)
+// Telemetry instance and Flush writes the requested output files.
+type Flags struct {
+	Metrics string // metrics report file; ".json" suffix selects JSON
+	Trace   string // Chrome trace_event JSON file
+	Pprof   string // net/http/pprof listen address
+}
+
+// Register binds the telemetry flags on fs (flag.CommandLine via
+// flag.* if fs is nil).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.Metrics, "metrics", "", "write a sorted metrics report to this file (.json for JSON)")
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// New starts pprof if requested and returns the Telemetry instance for
+// the run — nil (the zero-overhead disabled state) when neither
+// -metrics nor -trace was given. shards is typically the simulated
+// core count.
+func (f Flags) New(shards int) (*Telemetry, error) {
+	if f.Pprof != "" {
+		addr, err := StartPprof(f.Pprof)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: -pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+	if f.Metrics == "" && f.Trace == "" {
+		return nil, nil
+	}
+	return New(Options{Shards: shards, Trace: f.Trace != ""}), nil
+}
+
+// Flush writes the metrics report and/or trace file selected by the
+// flags. A nil Telemetry (telemetry disabled) flushes nothing.
+func (f Flags) Flush(t *Telemetry) error {
+	if t == nil {
+		return nil
+	}
+	if f.Metrics != "" {
+		write := t.Registry().WriteText
+		if strings.HasSuffix(f.Metrics, ".json") {
+			write = t.Registry().WriteJSON
+		}
+		if err := writeFile(f.Metrics, write); err != nil {
+			return fmt.Errorf("telemetry: -metrics: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		if err := writeFile(f.Trace, t.Tracer().WriteChrome); err != nil {
+			return fmt.Errorf("telemetry: -trace: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+)
+
+// StartPprof starts an HTTP server exposing net/http/pprof on addr
+// (e.g. "localhost:6060"; a ":0" port picks a free one). It returns
+// the bound address. The server runs until the process exits.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// DefaultServeMux carries the pprof handlers registered by the
+		// net/http/pprof import.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

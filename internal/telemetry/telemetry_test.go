@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTelemetryIsNoOp(t *testing.T) {
+	var tel *Telemetry
+	if tel.Registry() != nil {
+		t.Fatal("nil Telemetry must return a nil Registry")
+	}
+	if tel.Tracer() != nil {
+		t.Fatal("nil Telemetry must return a nil Tracer")
+	}
+	if tel.SampleEvery() != 0 {
+		t.Fatal("nil Telemetry must report SampleEvery 0")
+	}
+
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("x")
+	h := reg.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil Registry must hand out nil handles")
+	}
+	// All nil-handle operations must be safe no-ops.
+	c.Add(3, 7)
+	c.Inc(0)
+	g.Set(0, 9)
+	h.Observe(1, 42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if h.Mean() != 0 {
+		t.Fatal("nil histogram Mean must be 0")
+	}
+	if got := reg.Snapshot(); got != nil {
+		t.Fatalf("nil Registry Snapshot = %v, want nil", got)
+	}
+}
+
+func TestDisabledOptionsReturnNil(t *testing.T) {
+	if tel := New(Options{}); tel == nil {
+		t.Fatal("New must return a usable Telemetry even with zero Options")
+	}
+	tel := New(Options{Shards: 4})
+	if tel.Tracer() != nil {
+		t.Fatal("Tracer must be nil unless Options.Trace is set")
+	}
+	tel = New(Options{Shards: 4, Trace: true})
+	if tel.Tracer() == nil {
+		t.Fatal("Options.Trace must enable the tracer")
+	}
+	if tel.SampleEvery() != DefaultSampleEvery {
+		t.Fatalf("SampleEvery = %d, want default %d", tel.SampleEvery(), DefaultSampleEvery)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	reg := NewRegistry(4)
+	c := reg.Counter("cpu.retired")
+	c.Add(0, 5)
+	c.Add(3, 2)
+	c.Inc(1)
+	// Shard indices beyond the shard count must wrap, not panic.
+	c.Inc(1000)
+	if got := c.Value(); got != 9 {
+		t.Fatalf("Counter.Value = %d, want 9", got)
+	}
+	if c2 := reg.Counter("cpu.retired"); c2 != c {
+		t.Fatal("Counter must return the same handle for the same name")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry(2)
+	g := reg.Gauge("rob.occupancy")
+	g.Set(0, 12)
+	if g.Value() != 12 || g.Max() != 12 {
+		t.Fatalf("gauge after Set(12): value=%d max=%d", g.Value(), g.Max())
+	}
+	g.Set(1, 40)
+	g.Set(0, 3)
+	// Value sums the last value of each shard (per-core gauges report
+	// the machine-wide total).
+	if g.Value() != 43 {
+		t.Fatalf("Gauge.Value = %d, want 3+40", g.Value())
+	}
+	if g.Max() != 40 {
+		t.Fatalf("Gauge.Max = %d, want 40", g.Max())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	reg := NewRegistry(4)
+	h := reg.Histogram("chunk.size")
+	vals := []uint64{0, 1, 2, 3, 4, 100, 4096}
+	var sum uint64
+	for i, v := range vals {
+		h.Observe(i, v)
+		sum += v
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), sum)
+	}
+	want := float64(sum) / float64(len(vals))
+	if math.Abs(h.Mean()-want) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry(1)
+	reg.Counter("metric.a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering metric.a as a Gauge after Counter must panic")
+		}
+	}()
+	reg.Gauge("metric.a")
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	reg := NewRegistry(2)
+	reg.Counter("z.last").Add(0, 1)
+	reg.Gauge("a.first").Set(0, 7)
+	reg.Histogram("m.middle").Observe(0, 3)
+
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot has %d entries, want 3", len(snap))
+	}
+	names := make([]string, len(snap))
+	for i, s := range snap {
+		names[i] = s.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Snapshot not sorted by name: %v", names)
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	reg := NewRegistry(2)
+	reg.Counter("core.intervals").Add(0, 21)
+	reg.Histogram("core.chunk_size").Observe(0, 512)
+
+	var txt bytes.Buffer
+	if err := reg.WriteText(&txt); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	for _, want := range []string{"core.intervals", "core.chunk_size", "counter", "histogram"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := reg.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output does not decode: %v", err)
+	}
+	if len(decoded.Metrics) != 2 {
+		t.Fatalf("WriteJSON decoded %d metrics, want 2", len(decoded.Metrics))
+	}
+}
+
+// The hot-path operations must not allocate: they run per retired
+// instruction and per coherence transaction.
+func TestHotPathZeroAlloc(t *testing.T) {
+	reg := NewRegistry(8)
+	c := reg.Counter("alloc.counter")
+	g := reg.Gauge("alloc.gauge")
+	h := reg.Histogram("alloc.hist")
+
+	checks := []struct {
+		name string
+		f    func()
+	}{
+		{"Counter.Add", func() { c.Add(3, 2) }},
+		{"Counter.Inc", func() { c.Inc(5) }},
+		{"Gauge.Set", func() { g.Set(1, 17) }},
+		{"Histogram.Observe", func() { h.Observe(2, 999) }},
+		{"nil Counter.Add", func() { (*Counter)(nil).Add(0, 1) }},
+		{"nil Histogram.Observe", func() { (*Histogram)(nil).Observe(0, 1) }},
+	}
+	for _, ck := range checks {
+		if n := testing.AllocsPerRun(100, ck.f); n != 0 {
+			t.Errorf("%s allocates %.0f times per call, want 0", ck.name, n)
+		}
+	}
+}
+
+// TestRegistryRace hammers one shared registry from many goroutines;
+// run with -race this verifies the sharded counters are data-race free
+// and that Snapshot can run concurrently with writers.
+func TestRegistryRace(t *testing.T) {
+	const workers = 8
+	const iters = 2000
+	reg := NewRegistry(workers)
+	c := reg.Counter("race.counter")
+	g := reg.Gauge("race.gauge")
+	h := reg.Histogram("race.hist")
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc(shard)
+				g.Set(shard, uint64(i))
+				h.Observe(shard, uint64(i%1024))
+				if i%500 == 0 {
+					reg.Snapshot() // concurrent reader
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("racing counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("racing histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry(8).Counter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(i&7, 1)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry(16).Counter("bench.counter")
+	b.ReportAllocs()
+	var next uint32
+	b.RunParallel(func(pb *testing.PB) {
+		shard := int(next) & 15
+		next++
+		for pb.Next() {
+			c.Add(shard, 1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry(8).Histogram("bench.hist")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(i&7, uint64(i))
+	}
+}
+
+func BenchmarkDisabledCounterAdd(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(0, 1)
+	}
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// The tracer records cycle-stamped structured events and exports them
+// in the Chrome trace_event JSON format ("JSON Object Format" with a
+// traceEvents array), loadable in chrome://tracing and Perfetto.
+// Timestamps are simulated cycles reported in the format's microsecond
+// field, so one trace microsecond == one machine cycle.
+//
+// Process/thread mapping: pid PidRecord is the recorded machine and
+// pid PidReplay the replayer; tid is the core id. Perfetto then shows
+// one swim lane per core for each side.
+
+// Trace event phase constants (the subset we emit).
+const (
+	PhaseComplete = "X" // duration event: Ts..Ts+Dur
+	PhaseInstant  = "i" // point event
+	PhaseCounter  = "C" // time-series sample
+	PhaseMetadata = "M" // process/thread naming
+)
+
+// Pids used by the simulator's trace events.
+const (
+	PidRecord = 0 // the recorded (simulated) machine
+	PidReplay = 1 // the replayer
+)
+
+// Event is one Chrome trace_event entry.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+
+	seq uint64 // per-shard arrival order, for a stable export sort
+}
+
+// traceShard is one independently-locked event buffer.
+type traceShard struct {
+	mu     sync.Mutex
+	events []Event
+	seq    uint64
+}
+
+// Tracer collects events into per-shard buffers (sharded like the
+// registry, typically by core id) so concurrent recordings do not
+// contend on one lock. A nil *Tracer is a no-op.
+type Tracer struct {
+	shards []traceShard
+	mask   uint32
+}
+
+// NewTracer builds a tracer with the given shard count (rounded up to
+// a power of two).
+func NewTracer(shards int) *Tracer {
+	n := pow2(shards)
+	return &Tracer{shards: make([]traceShard, n), mask: uint32(n - 1)}
+}
+
+// Enabled reports whether events will be kept (false on nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) add(shard int, ev Event) {
+	s := &t.shards[uint32(shard)&t.mask]
+	s.mu.Lock()
+	s.seq++
+	ev.seq = s.seq
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Complete records a duration event spanning [start, end] cycles on
+// (pid, tid). args may be nil.
+func (t *Tracer) Complete(pid, tid int, cat, name string, start, end uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.add(tid, Event{Name: name, Cat: cat, Ph: PhaseComplete, Ts: start, Dur: end - start, Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant records a point event at the given cycle. args may be nil.
+func (t *Tracer) Instant(pid, tid int, cat, name string, cycle uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(tid, Event{Name: name, Cat: cat, Ph: PhaseInstant, Ts: cycle, Pid: pid, Tid: tid, S: "t", Args: args})
+}
+
+// Counter records one sample of a named time series. Chrome groups
+// counter tracks by (pid, name), so per-core series must carry the
+// core in the name (e.g. "rob[c3]").
+func (t *Tracer) Counter(pid, tid int, cat, name string, cycle uint64, value uint64) {
+	if t == nil {
+		return
+	}
+	t.add(tid, Event{Name: name, Cat: cat, Ph: PhaseCounter, Ts: cycle, Pid: pid, Tid: tid,
+		Args: map[string]any{"value": value}})
+}
+
+// NameProcess emits the metadata event naming a pid.
+func (t *Tracer) NameProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(0, Event{Name: "process_name", Ph: PhaseMetadata, Pid: pid, Args: map[string]any{"name": name}})
+}
+
+// NameThread emits the metadata event naming a (pid, tid) lane.
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(tid, Event{Name: "thread_name", Ph: PhaseMetadata, Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+}
+
+// Events returns every recorded event in a deterministic order:
+// metadata first, then by (Ts, Pid, Tid, shard arrival order).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		am, bm := a.Ph == PhaseMetadata, b.Ph == PhaseMetadata
+		if am != bm {
+			return am
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.seq < b.seq
+	})
+	return out
+}
+
+// ChromeTrace is the trace_event JSON object format.
+type ChromeTrace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChrome serializes the trace in Chrome trace_event JSON Object
+// Format. The event order is deterministic.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: tracing not enabled")
+	}
+	events := t.Events()
+	if events == nil {
+		events = []Event{} // encode as [] rather than null
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ChromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+// ReadChrome parses and validates a trace written by WriteChrome (or
+// any trace in the JSON Object Format). It verifies the structural
+// rules of the trace_event format: every event has a name and a known
+// phase, and complete events carry a duration field that does not
+// precede their start.
+func ReadChrome(r io.Reader) (*ChromeTrace, error) {
+	var tr ChromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("telemetry: decode chrome trace: %w", err)
+	}
+	for i := range tr.TraceEvents {
+		ev := &tr.TraceEvents[i]
+		if ev.Name == "" {
+			return nil, fmt.Errorf("telemetry: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case PhaseComplete, PhaseInstant, PhaseCounter, PhaseMetadata:
+		default:
+			return nil, fmt.Errorf("telemetry: event %d (%q) has unsupported phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ph == PhaseCounter {
+			if _, ok := ev.Args["value"]; !ok {
+				return nil, fmt.Errorf("telemetry: counter event %d (%q) has no value arg", i, ev.Name)
+			}
+		}
+	}
+	return &tr, nil
+}
+
+// Categories returns the distinct event categories present, sorted.
+func (tr *ChromeTrace) Categories() []string {
+	seen := map[string]bool{}
+	for i := range tr.TraceEvents {
+		if c := tr.TraceEvents[i].Cat; c != "" {
+			seen[c] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil Tracer must report Enabled() == false")
+	}
+	tr.Complete(0, 0, "cat", "x", 1, 2, nil)
+	tr.Instant(0, 0, "cat", "x", 1, nil)
+	tr.Counter(0, 0, "cat", "x", 1, 2)
+	tr.NameProcess(0, "p")
+	tr.NameThread(0, 0, "t")
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil Tracer Events = %v, want nil", evs)
+	}
+	if err := tr.WriteChrome(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteChrome on a nil Tracer must error")
+	}
+}
+
+func TestTracerEventsDeterministicOrder(t *testing.T) {
+	tr := NewTracer(4)
+	// Insert deliberately out of time order and across shards.
+	tr.Instant(PidRecord, 2, "core", "late", 500, nil)
+	tr.Complete(PidRecord, 0, "core", "early", 10, 20, nil)
+	tr.Counter(PidRecord, 1, "cpu", "rob[c1]", 10, 3)
+	tr.NameProcess(PidRecord, "record machine") // metadata must sort first
+	tr.NameThread(PidRecord, 2, "core 2")
+
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	if evs[0].Ph != PhaseMetadata || evs[1].Ph != PhaseMetadata {
+		t.Fatalf("metadata events must sort first, got phases %q %q", evs[0].Ph, evs[1].Ph)
+	}
+	for i := 3; i < len(evs); i++ {
+		if evs[i-1].Ts > evs[i].Ts {
+			t.Fatalf("events out of Ts order at %d: %d > %d", i, evs[i-1].Ts, evs[i].Ts)
+		}
+	}
+	// Equal Ts breaks ties by pid then tid: "early" (tid 0) before the
+	// counter sample (tid 1).
+	if evs[2].Name != "early" || evs[3].Name != "rob[c1]" {
+		t.Fatalf("tie-break order wrong: %q then %q", evs[2].Name, evs[3].Name)
+	}
+}
+
+func TestCompleteClampsBackwardSpan(t *testing.T) {
+	tr := NewTracer(1)
+	tr.Complete(PidRecord, 0, "core", "interval", 100, 40, nil)
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Dur != 0 || evs[0].Ts != 100 {
+		t.Fatalf("backward span must clamp to zero duration, got %+v", evs[0])
+	}
+}
+
+func TestWriteReadChromeRoundTrip(t *testing.T) {
+	tr := NewTracer(2)
+	tr.NameProcess(PidRecord, "record machine")
+	tr.NameThread(PidRecord, 0, "core 0")
+	tr.NameProcess(PidReplay, "replayer")
+	tr.Complete(PidRecord, 0, "core", "interval", 0, 120, map[string]any{"cisn": 1, "instrs": 64})
+	tr.Instant(PidRecord, 0, "coherence", "snooptable-evict", 60, map[string]any{"line": 4})
+	tr.Counter(PidRecord, 0, "cpu", "rob[c0]", 64, 12)
+	tr.Complete(PidReplay, 0, "replay", "interval", 0, 90, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	got, err := ReadChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadChrome on our own output: %v", err)
+	}
+	if len(got.TraceEvents) != 7 {
+		t.Fatalf("round trip kept %d events, want 7", len(got.TraceEvents))
+	}
+	cats := got.Categories()
+	want := []string{"coherence", "core", "cpu", "replay"}
+	if len(cats) != len(want) {
+		t.Fatalf("Categories = %v, want %v", cats, want)
+	}
+	for i := range want {
+		if cats[i] != want[i] {
+			t.Fatalf("Categories = %v, want %v", cats, want)
+		}
+	}
+	// The counter sample must survive with its value arg intact.
+	for _, ev := range got.TraceEvents {
+		if ev.Ph == PhaseCounter {
+			if v, ok := ev.Args["value"].(float64); !ok || v != 12 {
+				t.Fatalf("counter value arg = %v, want 12", ev.Args["value"])
+			}
+		}
+	}
+}
+
+func TestWriteChromeEmptyTracerEncodesArray(t *testing.T) {
+	tr := NewTracer(1)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("empty trace must encode an empty array, got %s", buf.String())
+	}
+	if _, err := ReadChrome(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadChrome on an empty trace: %v", err)
+	}
+}
+
+func TestReadChromeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"not json", `{`},
+		{"unnamed event", `{"traceEvents":[{"ph":"i","ts":1,"pid":0,"tid":0}]}`},
+		{"unknown phase", `{"traceEvents":[{"name":"x","ph":"Q","ts":1,"pid":0,"tid":0}]}`},
+		{"counter without value", `{"traceEvents":[{"name":"x","ph":"C","ts":1,"pid":0,"tid":0}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadChrome(strings.NewReader(c.json)); err == nil {
+			t.Errorf("ReadChrome accepted %s", c.name)
+		}
+	}
+}

@@ -34,7 +34,20 @@ import (
 	"relaxreplay/internal/machine"
 	"relaxreplay/internal/replay"
 	"relaxreplay/internal/replaylog"
+	"relaxreplay/internal/telemetry"
 )
+
+// Telemetry is the shared metrics registry and event tracer; see
+// internal/telemetry. A nil *Telemetry disables all instrumentation at
+// zero cost, and enabling it never changes simulation behaviour —
+// recorded logs and replay outcomes are byte-identical either way.
+type Telemetry = telemetry.Telemetry
+
+// TelemetryOptions configures NewTelemetry.
+type TelemetryOptions = telemetry.Options
+
+// NewTelemetry builds a telemetry instance to place in Config.Telemetry.
+func NewTelemetry(o TelemetryOptions) *Telemetry { return telemetry.New(o) }
 
 // Variant selects the recorder design (paper §3.2).
 type Variant int
@@ -134,6 +147,11 @@ type Config struct {
 	SnoopTableArrays  int
 	SnoopTableEntries int
 	SignatureBits     int
+
+	// Telemetry, when non-nil, instruments the run: counters and
+	// histograms in the registry, plus (when tracing is enabled) a
+	// Chrome trace_event timeline. nil means zero overhead.
+	Telemetry *Telemetry
 }
 
 // DefaultConfig returns the paper's default setup: 8 cores, snoopy
@@ -167,6 +185,7 @@ func (c Config) machineConfig() machine.Config {
 	if c.MaxCycles > 0 {
 		m.MaxCycles = c.MaxCycles
 	}
+	m.Telemetry = c.Telemetry
 	return m
 }
 
@@ -207,6 +226,7 @@ func (c Config) recorderConfig() core.Config {
 	if c.SignatureBits != 0 {
 		r.SigBits = c.SignatureBits
 	}
+	r.Telemetry = c.Telemetry
 	return r
 }
 
@@ -341,7 +361,9 @@ func (r *Recording) Replay() (*ReplayResult, error) {
 			cpi[c] = 1
 		}
 	}
-	rp, err := replay.New(replay.DefaultConfig(), patched, r.w.Progs, r.w.InitMem, cpi)
+	rcfg := replay.DefaultConfig()
+	rcfg.Telemetry = r.cfg.Telemetry
+	rp, err := replay.New(rcfg, patched, r.w.Progs, r.w.InitMem, cpi)
 	if err != nil {
 		return nil, err
 	}
@@ -360,6 +382,12 @@ func (r *Recording) Replay() (*ReplayResult, error) {
 // the original machine state (that lives in the Recording); it returns
 // the replayed final memory for the caller to inspect.
 func ReplayLog(log *Log, w Workload) (*ReplayResult, error) {
+	return ReplayLogWith(log, w, nil)
+}
+
+// ReplayLogWith is ReplayLog with telemetry attached: the replayer's
+// counters and trace events land in tel (which may be nil).
+func ReplayLogWith(log *Log, w Workload, tel *Telemetry) (*ReplayResult, error) {
 	patched := log
 	if !log.Patched {
 		var err error
@@ -368,7 +396,9 @@ func ReplayLog(log *Log, w Workload) (*ReplayResult, error) {
 			return nil, err
 		}
 	}
-	rp, err := replay.New(replay.DefaultConfig(), patched, w.Progs, w.InitMem, nil)
+	cfg := replay.DefaultConfig()
+	cfg.Telemetry = tel
+	rp, err := replay.New(cfg, patched, w.Progs, w.InitMem, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,79 @@
+package relaxreplay
+
+import (
+	"bytes"
+	"testing"
+
+	"relaxreplay/internal/telemetry"
+)
+
+// A fully traced record+replay of a kernel must export a Chrome trace
+// that round-trips through the decoder and carries events from every
+// instrumented layer: the pipeline (cpu), the memory system
+// (coherence), the recorder (core) and the replayer (replay).
+func TestTraceEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 4
+	cfg.Telemetry = NewTelemetry(TelemetryOptions{Shards: cfg.Cores, Trace: true})
+	w, _, err := BuildKernel("fft", cfg.Cores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Record(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Replay(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Telemetry.Tracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := telemetry.ReadChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, c := range tr.Categories() {
+		cats[c] = true
+	}
+	for _, want := range []string{"cpu", "coherence", "core", "interconnect", "replay"} {
+		if !cats[want] {
+			t.Errorf("trace has no %q events (categories: %v)", want, tr.Categories())
+		}
+	}
+
+	// Both sides of the timeline must be named and populated.
+	pids := map[int]bool{}
+	var metadata int
+	for _, ev := range tr.TraceEvents {
+		pids[ev.Pid] = true
+		if ev.Ph == telemetry.PhaseMetadata {
+			metadata++
+		}
+	}
+	if !pids[telemetry.PidRecord] || !pids[telemetry.PidReplay] {
+		t.Fatalf("trace must span both the record (pid %d) and replay (pid %d) processes",
+			telemetry.PidRecord, telemetry.PidReplay)
+	}
+	if metadata == 0 {
+		t.Fatal("trace has no process/thread naming metadata")
+	}
+
+	// The registry side must have seen the same run.
+	reg := cfg.Telemetry.Registry()
+	if reg.Counter("core.intervals").Value() == 0 {
+		t.Fatal("recorder formed no intervals")
+	}
+	if reg.Counter("replay.intervals").Value() == 0 {
+		t.Fatal("replayer committed no intervals")
+	}
+	if reg.Counter("cpu.retired").Value() == 0 {
+		t.Fatal("pipeline retired no instructions")
+	}
+	if reg.Counter("coherence.transactions").Value() == 0 {
+		t.Fatal("memory system saw no transactions")
+	}
+}
