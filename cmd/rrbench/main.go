@@ -6,6 +6,15 @@
 //
 //	rrbench [-cores 8] [-scale 3] [-apps fft,lu,...] [-protocol snoopy|directory]
 //	        [-fig all|table1,1,9,...] [-j N] [-noverify] [-quiet]
+//	        [-faults spec@seed]
+//
+// -faults switches on chaos mode: after the selected figures, rrbench
+// reruns the suite's workloads under a fault matrix (one isolated
+// fault point per cell, plus a no-fault baseline per app) and requires
+// every cell to end classified — replayed byte-identically, degraded
+// with the loss itemized, rejected with a typed error, or stalled into
+// a watchdog report. Any panic, hang, silent divergence or untyped
+// error fails the run.
 //
 // The -fig argument accepts a comma-separated subset of:
 //
@@ -46,6 +55,7 @@ import (
 
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/experiments"
+	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/telemetry"
 )
 
@@ -64,6 +74,7 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent recordings (0 = GOMAXPROCS, 1 = serial)")
 	noverify := flag.Bool("noverify", false, "skip replay verification of each recording")
 	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
+	faults := flag.String("faults", "", "chaos mode: run the fault matrix with this point[,point...]@seed spec")
 	var tf telemetry.Flags
 	tf.Register(nil)
 	flag.Parse()
@@ -225,6 +236,20 @@ func main() {
 		_, t, err := s.ExtensionModelSweep()
 		return show2(t, err)
 	})
+
+	if *faults != "" {
+		inj, err := faultinject.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		res, cerr := s.ChaosMatrix(inj)
+		if res != nil {
+			fmt.Println(res.Table)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+	}
 
 	if err := tf.Flush(tel); err != nil {
 		fatal(err)

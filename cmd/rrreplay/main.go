@@ -6,6 +6,16 @@
 // Usage:
 //
 //	rrreplay -log fft.rrlog -app fft [-cores 8] [-scale 3]
+//	         [-partial] [-faults spec@seed]
+//
+// Strict mode (the default) reads and replays the log with every
+// integrity check fatal: a corrupt frame, a truncated file or a
+// divergence exits non-zero with a typed, classified error. -partial
+// switches on graceful degradation: the robust decoder salvages the
+// intact frames, the surviving prefix is replayed, and every
+// abandoned core is itemized — the exit is still non-zero so damage
+// is never mistaken for success. -faults injects read-side faults
+// (e.g. log.shortread) for exercising those paths.
 package main
 
 import (
@@ -23,6 +33,8 @@ func main() {
 	app := flag.String("app", "fft", "workload recorded: kernel name or litmus:<name>")
 	cores := flag.Int("cores", 8, "core count used at recording")
 	scale := flag.Int("scale", 3, "problem scale used at recording")
+	partial := flag.Bool("partial", false, "graceful degradation: salvage a damaged log and replay the surviving prefix")
+	faults := flag.String("faults", "", "inject read-side faults: point[,point...]@seed")
 	var tf telemetry.Flags
 	tf.Register(nil)
 	flag.Parse()
@@ -30,14 +42,34 @@ func main() {
 	if *logPath == "" {
 		fatal(fmt.Errorf("-log is required"))
 	}
+	inj, err := relaxreplay.ParseFaults(*faults)
+	if err != nil {
+		fatal(err)
+	}
 	f, err := os.Open(*logPath)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	log, err := relaxreplay.ReadLog(f)
+	st, _ := f.Stat()
+	var size int64
+	if st != nil {
+		size = st.Size()
+	}
+	rd := inj.WrapReader(f, size)
+
+	var log *relaxreplay.Log
+	var rep *relaxreplay.CorruptionReport
+	if *partial {
+		log, rep, err = relaxreplay.ReadLogRobust(rd)
+	} else {
+		log, err = relaxreplay.ReadLog(rd)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if rep != nil && !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "rrreplay: log damaged, salvaged what survives:\n%s\n", rep.Summary())
 	}
 
 	var w relaxreplay.Workload
@@ -63,20 +95,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := relaxreplay.ReplayLogWith(log, w, tel)
+	var res *relaxreplay.ReplayResult
+	if *partial {
+		res, err = relaxreplay.ReplayLogPartialWith(log, w, tel)
+	} else {
+		res, err = relaxreplay.ReplayLogWith(log, w, tel)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("replayed %d intervals, modeled time %d cycles (user %d + OS %d)\n",
-		rep.Intervals, rep.Timing.Total(), rep.Timing.UserCycles, rep.Timing.OSCycles)
-	if check != nil {
-		if err := check(rep.FinalMemory); err != nil {
+		res.Intervals, res.Timing.Total(), res.Timing.UserCycles, res.Timing.OSCycles)
+	for _, d := range res.Degradations {
+		fmt.Fprintf(os.Stderr, "rrreplay: degraded: %s\n", d.String())
+	}
+	degraded := len(res.Degradations) > 0 || (rep != nil && !rep.Clean())
+	if check != nil && !degraded {
+		if err := check(res.FinalMemory); err != nil {
 			fatal(fmt.Errorf("replayed memory fails the workload oracle: %w", err))
 		}
 		fmt.Println("replayed memory passes the workload oracle")
 	}
 	if err := tf.Flush(tel); err != nil {
 		fatal(err)
+	}
+	if degraded {
+		// Partial success is still reported as a failure exit so
+		// automation never mistakes a salvaged replay for a clean one.
+		os.Exit(3)
 	}
 }
 

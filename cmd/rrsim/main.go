@@ -5,7 +5,12 @@
 //
 //	rrsim -app fft [-cores 8] [-scale 3] [-variant opt|base]
 //	      [-interval 4k|inf] [-protocol snoopy|directory]
-//	      [-o fft.rrlog] [-verify]
+//	      [-o fft.rrlog] [-verify] [-faults spec@seed]
+//
+// -faults injects deterministic faults (see internal/faultinject):
+// interconnect and flush-crash points perturb the recording itself —
+// possibly failing it loudly — and log-byte points corrupt the file
+// written by -o, for exercising rrlog/rrreplay's corruption handling.
 //
 // The available applications are the bundled SPLASH-2-analog kernels
 // (see rrsim -list) and the litmus tests (prefix "litmus:", e.g.
@@ -36,6 +41,7 @@ func main() {
 	model := flag.String("model", "rc", "consistency model of the cores: rc, tso or sc")
 	out := flag.String("o", "", "write the serialized log to this file")
 	verify := flag.Bool("verify", false, "replay the log and verify determinism")
+	faults := flag.String("faults", "", "inject faults: point[,point...]@seed, or default@seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
 
@@ -125,6 +131,12 @@ func main() {
 		fatal(err)
 	}
 	cfg.Telemetry = tel
+	inj, err := relaxreplay.ParseFaults(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	inj.SetTelemetry(tel)
+	cfg.Faults = inj
 
 	rec, err := relaxreplay.Record(cfg, w)
 	if err != nil {
@@ -159,11 +171,18 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := rec.WriteLog(f); err != nil {
+		applied, err := rec.WriteLogWith(f, inj)
+		if err != nil {
 			fatal(err)
 		}
 		st, _ := f.Stat()
 		fmt.Printf("wrote %s (%d bytes on disk)\n", *out, st.Size())
+		for _, a := range applied {
+			fmt.Printf("fault injected into log bytes: %s\n", a)
+		}
+	}
+	if inj != nil {
+		fmt.Printf("faults: %s\n", inj)
 	}
 
 	if err := tf.Flush(tel); err != nil {

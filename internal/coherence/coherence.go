@@ -29,6 +29,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/interconnect"
 	"relaxreplay/internal/telemetry"
 )
@@ -84,6 +85,10 @@ type Config struct {
 	// the MSHR occupancy histogram (metric names under "coherence.").
 	// It observes only: simulation behaviour is identical without it.
 	Telemetry *telemetry.Telemetry
+
+	// Faults, when non-nil, is handed to the ring (ic.delay / ic.drop
+	// points). Nil leaves the memory system fully deterministic.
+	Faults *faultinject.Injector
 }
 
 // DefaultConfig returns the paper's Table 1 memory system for the
@@ -283,6 +288,7 @@ func New(cfg Config) *System {
 		ring: interconnect.New(cfg.Cores + 1),
 		tel:  newMemTelem(cfg.Telemetry),
 	}
+	s.ring.Faults = cfg.Faults
 	s.l1s = make([]*l1cache, cfg.Cores)
 	for i := range s.l1s {
 		s.l1s[i] = newL1(s, i)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"relaxreplay/internal/bloom"
+	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/replaylog"
 	"relaxreplay/internal/telemetry"
@@ -77,6 +78,12 @@ type Config struct {
 	// the motivation experiment can demonstrate the resulting replay
 	// divergence.
 	AssumeSC bool
+
+	// Faults, when non-nil, arms the recorder-side fault points — today
+	// flush.crash, which makes the session "crash" while flushing one
+	// core's log at finalize, losing that stream's tail intervals. Nil
+	// keeps recording fully deterministic.
+	Faults *faultinject.Injector
 
 	// Telemetry, when non-nil, receives the recorder's counters, the
 	// chunk-size/NMI histograms and the interval-lifetime trace events

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relaxreplay/internal/coherence"
+	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/cpu"
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/machine"
@@ -166,7 +167,7 @@ func (s *Session) Run() (*Result, error) {
 			break
 		}
 		if m.Cycle() >= m.Config().MaxCycles {
-			return nil, fmt.Errorf("core: recording exceeded %d cycles (deadlock?)", m.Config().MaxCycles)
+			return nil, &machine.StallError{Cycles: m.Config().MaxCycles, Cores: m.CoreSnapshots()}
 		}
 		m.Step()
 		for _, r := range s.Recorders {
@@ -203,6 +204,13 @@ func (s *Session) Run() (*Result, error) {
 		stream, err := r.Finalize(m.Cycle())
 		if err != nil {
 			return nil, err
+		}
+		// flush.crash: the session dies mid-flush of this core's stream,
+		// losing its tail intervals. Downstream must surface the loss as
+		// a classified failure, never replay silently wrong.
+		if s.rcfg.Faults.Fire(faultinject.FlushCrash) && len(stream.Intervals) > 0 {
+			keep := int(s.rcfg.Faults.Rand(faultinject.FlushCrash, uint64(len(stream.Intervals))))
+			stream.Intervals = stream.Intervals[:keep]
 		}
 		log.Streams = append(log.Streams, stream)
 		res.CoreStats = append(res.CoreStats, m.Cores[i].Stats)

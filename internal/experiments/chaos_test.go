@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"testing"
+
+	"relaxreplay/internal/faultinject"
+	"relaxreplay/internal/telemetry"
+)
+
+// chaosSuite keeps chaos tests fast: 2 cores, tiny scale, two apps
+// with different sharing patterns.
+func chaosSuite(tel *telemetry.Telemetry) *Suite {
+	opts := DefaultOptions()
+	opts.Cores = 2
+	opts.Scale = 1
+	opts.Apps = []string{"fft", "lu"}
+	opts.Telemetry = tel
+	return NewSuite(opts)
+}
+
+// The acceptance gate: the full default fault matrix completes with
+// every cell classified into an allowed outcome — no panics, no
+// hangs, no silent divergence, no untyped errors.
+func TestChaosMatrixClassifiesEveryCell(t *testing.T) {
+	tel := telemetry.New(telemetry.Options{Shards: 2})
+	s := chaosSuite(tel)
+	inj, err := faultinject.Parse("default@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ChaosMatrix(inj)
+	if err != nil {
+		if res != nil {
+			t.Log("\n" + res.Table.String())
+		}
+		t.Fatal(err)
+	}
+	wantCells := len(s.Apps()) * (1 + len(faultinject.Points()))
+	if len(res.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), wantCells)
+	}
+	outcomes := map[string]int{}
+	for _, c := range res.Cells {
+		if c.Outcome == "" {
+			t.Fatalf("cell %s/%s has no outcome", c.App, c.Point)
+		}
+		if ForbiddenOutcome(c.Outcome) {
+			t.Fatalf("forbidden outcome %s at %s/%s: %s", c.Outcome, c.App, c.Point, c.Detail)
+		}
+		outcomes[c.Outcome]++
+		if c.Point == chaosBaseline {
+			if c.Outcome != OutcomeIdentical {
+				t.Fatalf("baseline cell %s = %s (%s)", c.App, c.Outcome, c.Detail)
+			}
+		} else if c.Fired == 0 {
+			t.Errorf("cell %s/%s fired no faults", c.App, c.Point)
+		}
+	}
+	// The matrix must actually exercise the degradation machinery, not
+	// just reject everything (or survive everything).
+	if outcomes[OutcomeDegraded] == 0 && outcomes[OutcomeRejected] == 0 {
+		t.Fatalf("no cell degraded or rejected: %v", outcomes)
+	}
+	if res.Table.Rows() != wantCells {
+		t.Fatalf("table rows = %d, want %d", res.Table.Rows(), wantCells)
+	}
+	// Chaos observability: the injector counters must have flowed into
+	// telemetry.
+	var injected, degraded uint64
+	for _, m := range tel.Registry().Snapshot() {
+		switch m.Name {
+		case "faults.injected":
+			injected = m.Value
+		case "replay.degraded":
+			degraded = m.Value
+		}
+	}
+	if injected == 0 {
+		t.Fatal("faults.injected counter never incremented")
+	}
+	if outcomes[OutcomeDegraded] > 0 && degraded == 0 {
+		t.Fatal("replay.degraded counter never incremented despite degraded cells")
+	}
+}
+
+func TestChaosMatrixNeedsInjector(t *testing.T) {
+	if _, err := chaosSuite(nil).ChaosMatrix(nil); err == nil {
+		t.Fatal("nil injector accepted")
+	}
+}
+
+func TestForbiddenOutcome(t *testing.T) {
+	for _, o := range []string{OutcomeIdentical, OutcomeDegraded, OutcomeRejected,
+		OutcomeRecordStall, OutcomeReplayStall} {
+		if ForbiddenOutcome(o) {
+			t.Fatalf("%s should be allowed", o)
+		}
+	}
+	for _, o := range []string{OutcomePanic, OutcomeSilent, OutcomeError, "", "bogus"} {
+		if !ForbiddenOutcome(o) {
+			t.Fatalf("%s should be forbidden", o)
+		}
+	}
+}
+
+// With fault injection disabled, an instrumented suite must emit
+// byte-identical logs and tables: the nil-injector pipeline is the
+// production pipeline.
+func TestSuiteTablesUnchangedByDisabledInjector(t *testing.T) {
+	a, _, err := smallSuite().Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second suite with telemetry attached (the chaos-instrumented
+	// configuration) but no injector anywhere.
+	opts := DefaultOptions()
+	opts.Cores = 4
+	opts.Scale = 1
+	opts.Apps = []string{"fft", "volrend", "barnes"}
+	opts.Telemetry = telemetry.New(telemetry.Options{Shards: 2})
+	b, _, err := NewSuite(opts).Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -7,6 +7,8 @@
 // observe every coherence transaction.
 package interconnect
 
+import "relaxreplay/internal/faultinject"
+
 // Message is one ring packet. Every message occupies one ring slot
 // regardless of payload (a 32-byte-wide ring moves a header or a line
 // in one slot).
@@ -38,10 +40,18 @@ type Ring struct {
 	slots   []*Message // slot i is currently at node i's station
 	pending [][]Message
 
+	// Faults, when non-nil, perturbs injection: ic.delay holds a
+	// pending message at its station for a cycle, ic.drop discards one
+	// outright (the protocol-level consequence — typically a stalled
+	// coherence transaction — is the point of the exercise). A nil
+	// injector leaves the ring bit-for-bit deterministic.
+	Faults *faultinject.Injector
+
 	// stats
 	Injected  uint64
 	Delivered uint64
 	Hops      uint64 // slot advances carrying a message
+	Dropped   uint64 // messages discarded by fault injection
 	MaxQueue  int
 }
 
@@ -154,9 +164,16 @@ func (r *Ring) Tick() []Delivery {
 		if r.slots[p] != nil || len(r.pending[p]) == 0 {
 			continue
 		}
+		if r.Faults.Fire(faultinject.ICDelay) {
+			continue // station stalls this cycle; message stays queued
+		}
 		m := r.pending[p][0]
 		copy(r.pending[p], r.pending[p][1:])
 		r.pending[p] = r.pending[p][:len(r.pending[p])-1]
+		if r.Faults.Fire(faultinject.ICDrop) {
+			r.Dropped++
+			continue // message vanishes between station and slot
+		}
 		m.pos = p
 		if m.Visit && m.Dst != m.Src {
 			m.Dst = m.Src

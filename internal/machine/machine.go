@@ -7,9 +7,11 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/cpu"
+	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/telemetry"
 )
@@ -34,6 +36,13 @@ type Config struct {
 	// tracks (ROB/LSQ/MSHR occupancy, ring queue depth). It observes
 	// only: simulation behaviour is identical with or without it.
 	Telemetry *telemetry.Telemetry
+
+	// Faults, when non-nil, is propagated to the memory system's
+	// interconnect (ic.delay / ic.drop points). A dropped coherence
+	// message typically surfaces as a *StallError from Run — that loud,
+	// classifiable failure is the intended behaviour under fault
+	// injection. Nil keeps the machine fully deterministic.
+	Faults *faultinject.Injector
 }
 
 // DefaultConfig returns the paper's Table 1 machine with the given
@@ -103,6 +112,9 @@ func New(cfg Config, progs []isa.Program, hookFor func(core int) cpu.Hooks) *Mac
 	if cfg.Telemetry != nil {
 		cfg.CPU.Telemetry = cfg.Telemetry
 		cfg.Mem.Telemetry = cfg.Telemetry
+	}
+	if cfg.Faults != nil {
+		cfg.Mem.Faults = cfg.Faults
 	}
 	m := &Machine{cfg: cfg, Sys: coherence.New(cfg.Mem), samp: newSampler(cfg.Telemetry, cfg.Cores)}
 	m.Sys.OnPerform = func(ev coherence.PerformEvent) {
@@ -189,15 +201,28 @@ func (m *Machine) Done() bool {
 	return !m.Sys.Busy()
 }
 
+// StallError reports that the machine exceeded MaxCycles without
+// completing — a deadlocked workload, or (under fault injection) a
+// coherence transaction killed by a dropped ring message. Cores holds
+// a per-core pipeline/stall snapshot naming the stuck core.
+type StallError struct {
+	Cycles uint64   // the MaxCycles budget that elapsed
+	Cores  []string // per-core pipeline state and stall counters
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("machine: exceeded %d cycles (deadlock?): [%s]", e.Cycles, strings.Join(e.Cores, ", "))
+}
+
 // Run steps the machine to completion. It fails on a core error (e.g.
-// input exhaustion) or when MaxCycles elapse without completion, which
-// almost always indicates a deadlocked workload (e.g. a spinlock never
-// released).
+// input exhaustion) or with *StallError when MaxCycles elapse without
+// completion, which almost always indicates a deadlocked workload
+// (e.g. a spinlock never released).
 func (m *Machine) Run() error {
 	for !m.Done() {
 		if m.cycle >= m.cfg.MaxCycles {
 			m.SampleTelemetry()
-			return fmt.Errorf("machine: exceeded %d cycles (deadlock?): %v", m.cfg.MaxCycles, m.snapshotCores())
+			return &StallError{Cycles: m.cfg.MaxCycles, Cores: m.snapshotCores()}
 		}
 		m.Step()
 		for _, c := range m.Cores {
@@ -209,6 +234,11 @@ func (m *Machine) Run() error {
 	m.SampleTelemetry()
 	return nil
 }
+
+// CoreSnapshots exposes the per-core stall snapshot for callers that
+// build their own StallError (the recording session shares the
+// machine's cycle budget).
+func (m *Machine) CoreSnapshots() []string { return m.snapshotCores() }
 
 // snapshotCores describes each core's pipeline state plus its final
 // telemetry counters (retired and stall counts), so a deadlock report

@@ -12,6 +12,7 @@
 package replay
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -43,6 +44,21 @@ type Config struct {
 	// names under "replay.", trace pid telemetry.PidReplay). It
 	// observes only: replay outcomes are identical with or without it.
 	Telemetry *telemetry.Telemetry
+
+	// AllowPartial switches on graceful degradation: a core that
+	// diverges from its recorded stream (typically because the log lost
+	// intervals to corruption) is abandoned at that interval and
+	// recorded in Result.Degradations, instead of failing the whole
+	// replay with ErrDiverged. The remaining cores replay as far as
+	// their streams allow.
+	AllowPartial bool
+
+	// WatchdogSteps bounds total replay work (instructions executed
+	// plus entries emulated). 0 means an automatic budget derived from
+	// the log's own instruction count. When exceeded, Run returns
+	// *ErrStalled with a StallReport instead of looping forever on a
+	// log whose lengths lie.
+	WatchdogSteps uint64
 }
 
 // DefaultConfig returns the calibrated timing model. The absolute
@@ -77,7 +93,15 @@ type Result struct {
 	Instret     []uint64
 	Intervals   int
 	Timing      Timing
+
+	// Degradations lists the cores abandoned mid-replay (only under
+	// Config.AllowPartial). Empty means a full-fidelity replay.
+	Degradations []Degradation
 }
+
+// Degraded reports whether any core was abandoned before completing
+// its recorded stream.
+func (r *Result) Degraded() bool { return len(r.Degradations) > 0 }
 
 // replTelem holds the replayer's pre-resolved telemetry handles. The
 // zero value (all nil) is the disabled state: every call is a no-op.
@@ -88,6 +112,7 @@ type replTelem struct {
 	dummies       *telemetry.Counter
 	patchedStores *telemetry.Counter
 	instrs        *telemetry.Counter
+	degraded      *telemetry.Counter
 
 	tracer   *telemetry.Tracer // nil unless tracing is on
 	progress []string          // per-core counter track names
@@ -108,6 +133,7 @@ func newReplTelem(t *telemetry.Telemetry, cores int) replTelem {
 		dummies:       reg.Counter("replay.dummies"),
 		patchedStores: reg.Counter("replay.patched_stores"),
 		instrs:        reg.Counter("replay.instrs"),
+		degraded:      reg.Counter("replay.degraded"),
 	}
 	if tr := t.Tracer(); tr != nil && tr.Enabled() {
 		rt.tracer = tr
@@ -131,6 +157,11 @@ type Replayer struct {
 	// cpi is the recorded cycles-per-instruction per core, used by the
 	// timing model for native user time.
 	cpi []float64
+
+	// Watchdog state: steps counts instructions executed plus entries
+	// emulated; exceeding budget aborts with *ErrStalled.
+	steps  uint64
+	budget uint64
 
 	tel replTelem
 }
@@ -180,7 +211,30 @@ type intervalRef struct {
 	ts   uint64
 }
 
+// errStall is the internal signal that the step budget ran out inside
+// an interval; Run converts it into *ErrStalled with a full report.
+var errStall = fmt.Errorf("step budget exhausted")
+
+// watchdogBudget derives the automatic step budget: generous slack
+// over the work a truthful log demands, so only a lying log (or a
+// genuine scheduler bug) can exhaust it.
+func watchdogBudget(l *replaylog.Log) uint64 {
+	work := l.Instructions()
+	for _, s := range l.Streams {
+		for i := range s.Intervals {
+			work += uint64(len(s.Intervals[i].Entries))
+		}
+	}
+	return 16*work + 4096
+}
+
 // Run replays the log sequentially in the recorded total order.
+//
+// Failure modes are typed: *ErrDiverged when execution stops matching
+// the log (suppressed per-core into Result.Degradations under
+// Config.AllowPartial), *ErrStalled when the watchdog step budget runs
+// out. A degraded run still returns a Result — final state is then
+// only authoritative for the cores that completed.
 func (r *Replayer) Run() (*Result, error) {
 	var order []intervalRef
 	for _, s := range r.log.Streams {
@@ -198,16 +252,40 @@ func (r *Replayer) Run() (*Result, error) {
 		return order[i].idx < order[j].idx
 	})
 
+	r.steps = 0
+	r.budget = r.cfg.WatchdogSteps
+	if r.budget == 0 {
+		r.budget = watchdogBudget(r.log)
+	}
+	done := make([]int, r.log.Cores)
+	abandoned := make([]bool, r.log.Cores)
+
 	res := &Result{Intervals: len(order)}
 	var userCycles float64
 	for _, ref := range order {
+		if ref.core < len(abandoned) && abandoned[ref.core] {
+			continue
+		}
 		iv := &r.log.Streams[ref.core].Intervals[ref.idx]
 		// The modeled replay clock (cumulative OS+user cycles) is the
 		// timeline the trace events are placed on.
 		start := res.Timing.OSCycles + uint64(userCycles)
 		res.Timing.OSCycles += r.cfg.IntervalSwitchCycles
 		if err := r.replayInterval(ref.core, iv, res, &userCycles); err != nil {
-			return nil, fmt.Errorf("replay: core %d interval %d (cisn %d): %w", ref.core, ref.idx, iv.CISN, err)
+			if errors.Is(err, errStall) {
+				return nil, &ErrStalled{Report: r.stallReport(ref, iv, done)}
+			}
+			if r.cfg.AllowPartial {
+				abandoned[ref.core] = true
+				res.Degradations = append(res.Degradations,
+					Degradation{Core: ref.core, Interval: ref.idx, Seq: iv.Seq, Cause: err})
+				r.tel.degraded.Inc(ref.core)
+				continue
+			}
+			return nil, &ErrDiverged{Core: ref.core, Interval: ref.idx, Seq: iv.Seq, Cause: err}
+		}
+		if ref.core < len(done) {
+			done[ref.core]++
 		}
 		r.tel.intervals.Inc(ref.core)
 		if tr := r.tel.tracer; tr != nil {
@@ -221,8 +299,13 @@ func (r *Replayer) Run() (*Result, error) {
 	res.Timing.UserCycles = uint64(userCycles)
 
 	for c, th := range r.threads {
-		if !th.Halted {
-			return nil, fmt.Errorf("replay: core %d did not reach HALT (pc=%d)", c, th.PC)
+		if !th.Halted && !(c < len(abandoned) && abandoned[c]) {
+			cause := fmt.Errorf("did not reach HALT (pc=%d)", th.PC)
+			if !r.cfg.AllowPartial {
+				return nil, &ErrDiverged{Core: c, Interval: -1, Cause: cause}
+			}
+			res.Degradations = append(res.Degradations, Degradation{Core: c, Interval: -1, Cause: cause})
+			r.tel.degraded.Inc(c)
 		}
 		res.FinalRegs = append(res.FinalRegs, th.Regs)
 		res.Instret = append(res.Instret, th.Instret)
@@ -231,9 +314,34 @@ func (r *Replayer) Run() (*Result, error) {
 	return res, nil
 }
 
+// stallReport captures where every core was when the watchdog fired,
+// including a telemetry snapshot when a registry is attached.
+func (r *Replayer) stallReport(ref intervalRef, iv *replaylog.Interval, done []int) *StallReport {
+	rep := &StallReport{
+		Steps:    r.steps,
+		Budget:   r.budget,
+		Core:     ref.core,
+		Interval: ref.idx,
+		Seq:      iv.Seq,
+		Done:     done,
+	}
+	for _, th := range r.threads {
+		rep.Halted = append(rep.Halted, th.Halted)
+	}
+	if reg := r.cfg.Telemetry.Registry(); reg != nil {
+		rep.Metrics = reg.Snapshot()
+	}
+	return rep
+}
+
 func (r *Replayer) replayInterval(core int, iv *replaylog.Interval, res *Result, userCycles *float64) error {
 	th := r.threads[core]
 	for _, e := range iv.Entries {
+		if e.Type != replaylog.InorderBlock {
+			if r.steps++; r.steps > r.budget {
+				return errStall
+			}
+		}
 		switch e.Type {
 		case replaylog.InorderBlock:
 			// The OS programs the instruction counter and runs the
@@ -243,6 +351,9 @@ func (r *Replayer) replayInterval(core int, iv *replaylog.Interval, res *Result,
 			r.tel.blocks.Inc(core)
 			r.tel.instrs.Add(core, uint64(e.Size))
 			for i := uint32(0); i < e.Size; i++ {
+				if r.steps++; r.steps > r.budget {
+					return errStall
+				}
 				if th.Halted {
 					return fmt.Errorf("block overruns HALT after %d of %d instructions", i, e.Size)
 				}

@@ -1,0 +1,399 @@
+package replaylog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"relaxreplay/internal/faultinject"
+)
+
+func encodeBytes(t *testing.T, l *Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// frameSpan locates each frame in an encoded v2 stream: [start, end)
+// byte offsets plus the claimed type.
+type frameSpan struct {
+	typ        FrameType
+	start, end int
+}
+
+func scanFrames(t *testing.T, data []byte) []frameSpan {
+	t.Helper()
+	var out []frameSpan
+	pos := 6
+	for pos+13 <= len(data) {
+		if !bytes.Equal(data[pos:pos+4], frameSync[:]) {
+			t.Fatalf("lost framing at offset %d", pos)
+		}
+		length := int(binary.LittleEndian.Uint32(data[pos+5 : pos+9]))
+		end := pos + 9 + length + 4
+		out = append(out, frameSpan{typ: FrameType(data[pos+4]), start: pos, end: end})
+		pos = end
+	}
+	return out
+}
+
+func TestV2FrameLayout(t *testing.T) {
+	data := encodeBytes(t, sampleLog())
+	frames := scanFrames(t, data)
+	var types []FrameType
+	for _, f := range frames {
+		types = append(types, f.typ)
+	}
+	want := []FrameType{FrameHeader, FrameInputs, FrameInputs,
+		FrameStream, FrameInterval, FrameInterval, FrameStream, FrameInterval, FrameEnd}
+	if !reflect.DeepEqual(types, want) {
+		t.Fatalf("frame sequence = %v, want %v", types, want)
+	}
+	if frames[len(frames)-1].end != len(data) {
+		t.Fatalf("trailing bytes after end frame")
+	}
+}
+
+// Corrupting any single byte of any frame must decode with a non-clean
+// report that names the damaged frame (or, for header-region damage,
+// accounts for the bytes as skipped) — and must never lose more than
+// that one frame.
+func TestCorruptEachFrameEachRegion(t *testing.T) {
+	orig := sampleLog()
+	clean := encodeBytes(t, orig)
+	frames := scanFrames(t, clean)
+	total := 0
+	for _, s := range orig.Streams {
+		total += len(s.Intervals)
+	}
+
+	regions := []struct {
+		name   string
+		offset func(f frameSpan) int // byte to flip
+	}{
+		{"frame-header", func(f frameSpan) int { return f.start + 4 }}, // type byte
+		{"length", func(f frameSpan) int { return f.start + 5 }},
+		{"body", func(f frameSpan) int { return f.start + 9 }},
+		{"crc", func(f frameSpan) int { return f.end - 2 }},
+	}
+	for _, f := range frames {
+		for _, reg := range regions {
+			name := fmt.Sprintf("%s/%s", f.typ, reg.name)
+			t.Run(name, func(t *testing.T) {
+				data := append([]byte(nil), clean...)
+				off := reg.offset(f)
+				if off >= f.end { // zero-length payloads have no body byte
+					t.Skip("frame too short for region")
+				}
+				data[off] ^= 0x40
+				l, rep, err := DecodeRobust(bytes.NewReader(data))
+				if err != nil {
+					t.Fatalf("DecodeRobust hard-failed: %v", err)
+				}
+				if rep.Clean() {
+					t.Fatalf("corruption at %s went undetected", name)
+				}
+				if errors.Is(rep.Err(), ErrCorruptFrame) == false && errors.Is(rep.Err(), ErrTruncated) == false {
+					t.Fatalf("Err() = %v, not a typed corruption error", rep.Err())
+				}
+				// At most one frame's content may be lost.
+				got := 0
+				for _, s := range l.Streams {
+					got += len(s.Intervals)
+				}
+				minIntervals := total
+				if f.typ == FrameInterval {
+					minIntervals = total - 1
+				}
+				if got < minIntervals {
+					t.Fatalf("lost %d intervals to a single corrupt %s frame", total-got, f.typ)
+				}
+				// Body/CRC corruption keeps the frame header readable, so
+				// the report must name the frame.
+				if reg.name == "body" || reg.name == "crc" {
+					if len(rep.Frames) != 1 {
+						t.Fatalf("report names %d frames, want 1: %+v", len(rep.Frames), rep.Frames)
+					}
+					fe := rep.Frames[0]
+					if fe.Type != f.typ {
+						t.Fatalf("report names a %s frame, corrupted a %s frame", fe.Type, f.typ)
+					}
+					if f.typ == FrameInterval || f.typ == FrameStream || f.typ == FrameInputs {
+						if fe.Core < 0 && reg.name == "crc" {
+							t.Errorf("report did not recover the owning core: %+v", fe)
+						}
+					}
+				}
+				// Strict Decode must reject the same bytes.
+				if _, err := Decode(bytes.NewReader(data)); err == nil {
+					t.Fatal("strict Decode accepted corrupt bytes")
+				}
+			})
+		}
+	}
+}
+
+// An interval frame named in the report must carry the right core and
+// sequence number.
+func TestCorruptionReportNamesInterval(t *testing.T) {
+	clean := encodeBytes(t, sampleLog())
+	frames := scanFrames(t, clean)
+	// Second interval of core 0 (Seq 1): frame index 5 per TestV2FrameLayout.
+	f := frames[5]
+	data := append([]byte(nil), clean...)
+	data[f.end-1] ^= 0xFF // CRC byte
+	_, rep, err := DecodeRobust(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Frames) != 1 {
+		t.Fatalf("%d frame errors, want 1", len(rep.Frames))
+	}
+	fe := rep.Frames[0]
+	if fe.Type != FrameInterval || fe.Core != 0 || fe.Seq != 1 {
+		t.Fatalf("report = %+v, want interval frame core 0 seq 1", fe)
+	}
+	if rep.MissingIntervals != 1 {
+		t.Fatalf("MissingIntervals = %d, want 1 (stream frame declared 2)", rep.MissingIntervals)
+	}
+}
+
+func TestTruncatedTail(t *testing.T) {
+	clean := encodeBytes(t, sampleLog())
+	for _, cut := range []int{1, 5, 13, len(clean) / 2} {
+		data := clean[:len(clean)-cut]
+		l, rep, err := DecodeRobust(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !rep.Truncated {
+			t.Fatalf("cut %d: truncation undetected", cut)
+		}
+		if !errors.Is(rep.Err(), ErrTruncated) && !errors.Is(rep.Err(), ErrCorruptFrame) {
+			t.Fatalf("cut %d: Err() = %v", cut, rep.Err())
+		}
+		if l.Cores != 2 || l.Variant != "opt" {
+			t.Fatalf("cut %d: header fields lost: %+v", cut, l)
+		}
+	}
+}
+
+func TestHeaderLostIsInferred(t *testing.T) {
+	clean := encodeBytes(t, sampleLog())
+	frames := scanFrames(t, clean)
+	data := append([]byte(nil), clean...)
+	data[frames[0].start+10] ^= 1 // header frame body
+	l, rep, err := DecodeRobust(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HeaderLost {
+		t.Fatal("HeaderLost not set")
+	}
+	if l.Cores != 2 {
+		t.Fatalf("inferred Cores = %d, want 2", l.Cores)
+	}
+}
+
+func TestDuplicatedFrameIsDropped(t *testing.T) {
+	orig := sampleLog()
+	inj := faultinject.New(21, faultinject.LogDupFrame)
+	var buf bytes.Buffer
+	if err := EncodeWith(&buf, orig, inj); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Counts()[faultinject.LogDupFrame] != 1 {
+		t.Fatalf("dupframe fired %d times", inj.Counts()[faultinject.LogDupFrame])
+	}
+	l, rep, err := DecodeRobust(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DupFrames != 1 {
+		t.Fatalf("DupFrames = %d, want 1", rep.DupFrames)
+	}
+	if rep.Dropped != 0 || rep.Truncated {
+		t.Fatalf("dup frame misclassified: %+v", rep)
+	}
+	if !reflect.DeepEqual(l, orig) {
+		t.Fatal("log with duplicated frame did not decode back to the original")
+	}
+}
+
+// EncodeWith(nil) must be byte-identical to Encode, and an injector
+// with no armed points must not change the bytes either.
+func TestEncodeWithDisabledInjectorIsByteIdentical(t *testing.T) {
+	orig := sampleLog()
+	plain := encodeBytes(t, orig)
+	var with bytes.Buffer
+	if err := EncodeWith(&with, orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, with.Bytes()) {
+		t.Fatal("EncodeWith(nil) differs from Encode")
+	}
+	with.Reset()
+	inj := faultinject.New(3, faultinject.ICDrop) // no log points armed
+	if err := EncodeWith(&with, orig, inj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, with.Bytes()) {
+		t.Fatal("EncodeWith(injector without log points) differs from Encode")
+	}
+}
+
+// Hostile headers: huge claimed counts must error out without huge
+// allocations (run under -test.timeout this would OOM/hang before the
+// clamps existed).
+func TestHostileHeaders(t *testing.T) {
+	u16 := func(v uint16) []byte { b := make([]byte, 2); binary.LittleEndian.PutUint16(b, v); return b }
+	u32 := func(v uint32) []byte { b := make([]byte, 4); binary.LittleEndian.PutUint32(b, v); return b }
+	u64 := func(v uint64) []byte { b := make([]byte, 8); binary.LittleEndian.PutUint64(b, v); return b }
+	cat := func(parts ...[]byte) []byte { return bytes.Join(parts, nil) }
+	v1 := func(parts ...[]byte) []byte {
+		return cat(append([][]byte{[]byte("RRLG"), u16(1)}, parts...)...)
+	}
+	cases := map[string][]byte{
+		// v1: variant length 0xFFFF with no bytes behind it.
+		"v1-vlen": v1(u32(2), []byte{0}, u16(0xFFFF)),
+		// v1: 4 billion input streams.
+		"v1-inputs": v1(u32(2), []byte{0}, u16(0), u32(0xFFFFFFFF)),
+		// v1: one input stream claiming 4 billion values.
+		"v1-input-count": v1(u32(2), []byte{0}, u16(0), u32(1), u32(0xFFFFFFFF)),
+		// v1: 4 billion streams.
+		"v1-streams": v1(u32(2), []byte{0}, u16(0), u32(0), u32(0xFFFFFFFF)),
+		// v1: stream with 4 billion intervals.
+		"v1-intervals": v1(u32(2), []byte{0}, u16(0), u32(0), u32(1), u32(0), u32(0xFFFFFFFF)),
+		// v1: interval with 4 billion entries.
+		"v1-entries": v1(u32(2), []byte{0}, u16(0), u32(0), u32(1), u32(0), u32(1),
+			u64(0), u64(0), u32(0xFFFFFFFF), u32(0)),
+		// v1: interval with 4 billion preds.
+		"v1-preds": v1(u32(2), []byte{0}, u16(0), u32(0), u32(1), u32(0), u32(1),
+			u64(0), u64(0), u32(0), u32(0xFFFFFFFF)),
+	}
+	// v2: a header frame claiming 2^32-1 cores, with a *valid* CRC so
+	// only the clamp can reject it.
+	hostile := cat(u32(0xFFFFFFFF), []byte{1}, u32(0xFFFFFFFF), u16(0xFFFF))
+	body := cat([]byte{byte(FrameHeader)}, u32(uint32(len(hostile))), hostile)
+	crc := crc32.Checksum(body, castagnoli)
+	cases["v2-header"] = cat([]byte("RRLG"), u16(2), frameSync[:], body, u32(crc))
+
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(bytes.NewReader(data)); err == nil {
+				t.Fatal("strict Decode accepted a hostile header")
+			}
+			// DecodeRobust must also survive (and not allocate wildly —
+			// enforced by this completing instantly under -timeout).
+			_, rep, err := DecodeRobust(bytes.NewReader(data))
+			if err == nil && rep.Clean() {
+				t.Fatal("robust decode called hostile bytes clean")
+			}
+		})
+	}
+}
+
+// v1 files still decode, and a v1-decoded log re-encodes in v2
+// byte-identically to encoding the original (the satellite round-trip
+// requirement).
+func TestV1DecodeAndReencode(t *testing.T) {
+	orig := sampleLog()
+	var v1buf bytes.Buffer
+	if err := EncodeV1(&v1buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(bytes.NewReader(v1buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, orig) {
+		t.Fatal("v1 round-trip mismatch")
+	}
+	if !bytes.Equal(encodeBytes(t, dec), encodeBytes(t, orig)) {
+		t.Fatal("v2 re-encode of a v1-decoded log is not byte-identical")
+	}
+}
+
+func TestV1TruncatedKeepsPrefix(t *testing.T) {
+	orig := sampleLog()
+	var buf bytes.Buffer
+	if err := EncodeV1(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-10]
+	l, rep, err := DecodeRobust(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.Version != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if l.Cores != 2 || len(l.Streams) == 0 {
+		t.Fatalf("v1 partial decode kept nothing: %+v", l)
+	}
+	if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("strict v1 decode of truncated log: %v", err)
+	}
+}
+
+func TestPatchPartial(t *testing.T) {
+	l := &Log{
+		Cores: 1,
+		Streams: []CoreLog{{Core: 0, Intervals: []Interval{
+			// Interval 0 (Seq 0) was lost to corruption; Seq 1's store
+			// performed there (offset 1) and can no longer be patched.
+			{Seq: 1, CISN: 1, Timestamp: 100, Entries: []Entry{
+				{Type: InorderBlock, Size: 1},
+				{Type: ReorderedStore, Addr: 0x10, Value: 9, Offset: 1},
+			}},
+			{Seq: 2, CISN: 2, Timestamp: 200, Entries: []Entry{
+				{Type: InorderBlock, Size: 1},
+				{Type: ReorderedStore, Addr: 0x20, Value: 8, Offset: 1},
+			}},
+		}}},
+	}
+	if _, err := l.Patch(); err == nil {
+		t.Fatal("index-based Patch should fail on a gapped log")
+	}
+	p, dropped, err := l.PatchPartial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (Seq 1's target is gone)", dropped)
+	}
+	iv0 := p.Streams[0].Intervals[0]
+	last := iv0.Entries[len(iv0.Entries)-1]
+	if last.Type != PatchedStore || last.Addr != 0x20 {
+		t.Fatalf("Seq 2's store not patched into Seq 1: %+v", iv0.Entries)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PatchPartial on an intact log must agree exactly with Patch.
+func TestPatchPartialMatchesPatchOnCleanLog(t *testing.T) {
+	orig := sampleLog()
+	a, err := orig.Patch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, dropped, err := orig.PatchPartial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d on a clean log", dropped)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PatchPartial diverges from Patch on a clean log")
+	}
+}

@@ -1,0 +1,72 @@
+package replaylog
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to both decoders. Invariants:
+// DecodeRobust never panics, never hard-fails on well-prefixed input,
+// and anything it calls clean must re-encode and decode to the same
+// log; strict Decode must agree with the report's verdict.
+func FuzzDecode(f *testing.F) {
+	seed := func(l *Log) {
+		var v2, v1 bytes.Buffer
+		if err := Encode(&v2, l); err != nil {
+			f.Fatal(err)
+		}
+		if err := EncodeV1(&v1, l); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v2.Bytes())
+		f.Add(v1.Bytes())
+	}
+	seed(sampleLog())
+	seed(&Log{Cores: 1, Variant: "base", Streams: []CoreLog{{Core: 0}}})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4; i++ {
+		seed(randomLog(rng))
+	}
+	f.Add([]byte("RRLG"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, rep, err := DecodeRobust(bytes.NewReader(data))
+		if err != nil {
+			if l != nil || rep != nil {
+				t.Fatal("hard failure returned a partial result")
+			}
+			return
+		}
+		if l == nil || rep == nil {
+			t.Fatal("soft path returned nil log or report")
+		}
+		strict, serr := Decode(bytes.NewReader(data))
+		if rep.Clean() != (serr == nil) {
+			t.Fatalf("strict Decode err=%v but report clean=%v", serr, rep.Clean())
+		}
+		if rep.Clean() {
+			if !reflect.DeepEqual(strict, l) {
+				t.Fatal("strict and robust decode disagree on clean input")
+			}
+			// v1 is laxer than v2 (duplicate stream cores, non-monotone
+			// seqs decode clean), so only v2 input round-trips losslessly.
+			if rep.Version != 2 {
+				return
+			}
+			var re bytes.Buffer
+			if err := Encode(&re, l); err != nil {
+				t.Fatalf("clean decode does not re-encode: %v", err)
+			}
+			l2, rep2, err := DecodeRobust(bytes.NewReader(re.Bytes()))
+			if err != nil || !rep2.Clean() {
+				t.Fatalf("re-encoded clean log is not clean: %v %+v", err, rep2)
+			}
+			if !reflect.DeepEqual(l, l2) {
+				t.Fatal("re-encode round trip changed the log")
+			}
+		}
+	})
+}

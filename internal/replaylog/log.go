@@ -251,6 +251,63 @@ func (l *Log) Patch() (*Log, error) {
 	return out, nil
 }
 
+// PatchPartial is Patch for logs that lost intervals (a robust decode
+// of a damaged stream): store movement targets intervals by sequence
+// number rather than slice index, so a gap in the middle of a stream
+// does not shift every later offset onto the wrong interval. A store
+// whose target interval was lost cannot be placed anywhere; it is
+// dropped (its counting-position placeholder is still written) and
+// counted in the returned total. PatchPartial never fails on gaps —
+// only on a log that is already patched.
+func (l *Log) PatchPartial() (*Log, int, error) {
+	if l.Patched {
+		return nil, 0, fmt.Errorf("replaylog: log already patched")
+	}
+	dropped := 0
+	out := &Log{
+		Cores:   l.Cores,
+		Variant: l.Variant,
+		Patched: true,
+		Streams: make([]CoreLog, len(l.Streams)),
+		Inputs:  l.Inputs,
+	}
+	for ci, s := range l.Streams {
+		ns := CoreLog{Core: s.Core, Intervals: make([]Interval, len(s.Intervals))}
+		bySeq := make(map[uint64]int, len(s.Intervals))
+		for i, iv := range s.Intervals {
+			ns.Intervals[i] = Interval{Seq: iv.Seq, CISN: iv.CISN, Timestamp: iv.Timestamp}
+			ns.Intervals[i].Entries = append([]Entry(nil), iv.Entries...)
+			ns.Intervals[i].Preds = iv.Preds
+			bySeq[iv.Seq] = i
+		}
+		for i := range ns.Intervals {
+			iv := &ns.Intervals[i]
+			for j, e := range iv.Entries {
+				switch e.Type {
+				case ReorderedStore, ReorderedAtomic:
+					if e.Type == ReorderedStore {
+						iv.Entries[j] = Entry{Type: Dummy}
+					} else {
+						iv.Entries[j] = Entry{Type: ReorderedLoad, Value: e.Value}
+						if !e.DidWrite {
+							continue
+						}
+					}
+					target, ok := bySeq[iv.Seq-uint64(e.Offset)]
+					if !ok || uint64(e.Offset) > iv.Seq {
+						dropped++ // target interval was lost with the corruption
+						continue
+					}
+					ns.Intervals[target].Entries = append(ns.Intervals[target].Entries,
+						Entry{Type: PatchedStore, Addr: e.Addr, Value: valueForPatch(e), Offset: e.Offset})
+				}
+			}
+		}
+		out.Streams[ci] = ns
+	}
+	return out, dropped, nil
+}
+
 func valueForPatch(e Entry) uint64 {
 	if e.Type == ReorderedAtomic {
 		return e.StoreValue

@@ -24,12 +24,14 @@
 package relaxreplay
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/core"
 	"relaxreplay/internal/cpu"
+	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/machine"
 	"relaxreplay/internal/replay"
@@ -48,6 +50,17 @@ type TelemetryOptions = telemetry.Options
 
 // NewTelemetry builds a telemetry instance to place in Config.Telemetry.
 func NewTelemetry(o TelemetryOptions) *Telemetry { return telemetry.New(o) }
+
+// FaultInjector is a deterministic, seeded fault-injection engine; see
+// internal/faultinject. A nil *FaultInjector never fires, so every
+// fault-aware API accepts nil for normal operation, and the pipeline is
+// byte-identical with faults disabled.
+type FaultInjector = faultinject.Injector
+
+// ParseFaults builds a fault injector from a "spec@seed" string
+// ("default@1", "log.bitflip,ic.drop@7", "" or "none" for disabled).
+// This is the parser behind every command's -faults flag.
+func ParseFaults(spec string) (*FaultInjector, error) { return faultinject.Parse(spec) }
 
 // Variant selects the recorder design (paper §3.2).
 type Variant int
@@ -152,6 +165,14 @@ type Config struct {
 	// histograms in the registry, plus (when tracing is enabled) a
 	// Chrome trace_event timeline. nil means zero overhead.
 	Telemetry *Telemetry
+
+	// Faults, when non-nil, injects the enabled fault points into the
+	// recording machine (ic.delay / ic.drop on the interconnect) and
+	// the recording session (flush.crash at finalize). Faults make a
+	// run fail loudly (e.g. *machine.StallError surfaced from Record)
+	// or produce an incomplete log — never silently wrong output. nil
+	// keeps the simulation fully deterministic.
+	Faults *FaultInjector
 }
 
 // DefaultConfig returns the paper's default setup: 8 cores, snoopy
@@ -186,6 +207,7 @@ func (c Config) machineConfig() machine.Config {
 		m.MaxCycles = c.MaxCycles
 	}
 	m.Telemetry = c.Telemetry
+	m.Faults = c.Faults
 	return m
 }
 
@@ -227,6 +249,7 @@ func (c Config) recorderConfig() core.Config {
 		r.SigBits = c.SignatureBits
 	}
 	r.Telemetry = c.Telemetry
+	r.Faults = c.Faults
 	return r
 }
 
@@ -321,11 +344,58 @@ func (r *Recording) FinalMemory() map[uint64]uint64 {
 	return out
 }
 
-// WriteLog serializes the raw log (with the recorded input streams) to w.
+// WriteLog serializes the raw log (with the recorded input streams) to
+// w, in the checksummed v2 framing.
 func (r *Recording) WriteLog(w io.Writer) error { return replaylog.Encode(w, r.res.Log) }
 
-// ReadLog deserializes a log written by WriteLog.
+// WriteLogWith is WriteLog under fault injection: the encoder consults
+// inj's log.dupframe point, and the encoded bytes pass through
+// inj.Corrupt (bit flips, truncation, short writes) before reaching w.
+// It returns descriptions of the corruptions applied, so callers can
+// report what was done to the bytes. A nil injector is exactly
+// WriteLog.
+func (r *Recording) WriteLogWith(w io.Writer, inj *FaultInjector) ([]string, error) {
+	var buf bytes.Buffer
+	if err := replaylog.EncodeWith(&buf, r.res.Log, inj); err != nil {
+		return nil, err
+	}
+	data, applied := inj.Corrupt(buf.Bytes())
+	_, err := w.Write(data)
+	return applied, err
+}
+
+// ReadLog deserializes a log written by WriteLog. It is strict: any
+// corruption (bad checksum, torn frame, duplicated frame) fails with
+// an error matching ErrCorruptFrame or ErrTruncated. Use
+// ReadLogRobust to salvage what a damaged log still holds.
 func ReadLog(rd io.Reader) (*Log, error) { return replaylog.Decode(rd) }
+
+// CorruptionReport describes everything the robust decoder had to skip,
+// drop or infer; see internal/replaylog. Clean() reports an intact log.
+type CorruptionReport = replaylog.CorruptionReport
+
+// Typed sentinel errors for log damage: errors.Is-matchable from any
+// error returned by the strict decode path or CorruptionReport.Err.
+var (
+	// ErrCorruptFrame marks logs with damaged or lost frames.
+	ErrCorruptFrame = replaylog.ErrCorruptFrame
+	// ErrTruncated marks logs that end before their declared content.
+	ErrTruncated = replaylog.ErrTruncated
+)
+
+// ReadLogRobust deserializes as much of a (possibly damaged) log as
+// survives: corrupt frames are skipped with the decoder resyncing on
+// the next frame marker, and everything skipped, dropped or inferred is
+// itemized in the report. The returned log holds the intact frames
+// only; the error is non-nil solely when nothing decodable remains.
+func ReadLogRobust(rd io.Reader) (*Log, *CorruptionReport, error) {
+	return replaylog.DecodeRobust(rd)
+}
+
+// WriteSalvagedLog re-encodes a log — typically the survivor returned
+// by ReadLogRobust — as a clean, fully-checksummed file: the repair
+// path of rrlog -repair.
+func WriteSalvagedLog(w io.Writer, l *Log) error { return replaylog.Encode(w, l) }
 
 // ReplayResult is the outcome of a verified deterministic replay.
 type ReplayResult struct {
@@ -336,7 +406,24 @@ type ReplayResult struct {
 	// FinalMemory is the replayed memory image (equal to the
 	// recording's, or Replay would have failed).
 	FinalMemory map[uint64]uint64
+	// Degradations lists the cores abandoned mid-replay. It is only
+	// ever non-empty on the graceful-degradation path
+	// (ReplayLogPartialWith); the strict paths fail instead.
+	Degradations []Degradation
 }
+
+// Degradation records one core abandoned by a partial replay: where
+// its stream stopped matching and why.
+type Degradation = replay.Degradation
+
+// DivergedError is the typed failure of a strict replay whose
+// execution stopped matching the log (errors.As-matchable as
+// *DivergedError). Interval -1 means a core ended before HALT.
+type DivergedError = replay.ErrDiverged
+
+// StalledError is the typed failure of a replay whose watchdog step
+// budget ran out; its Report pins down where every core was.
+type StalledError = replay.ErrStalled
 
 // ReplayTiming is the modeled user/OS cycle breakdown.
 type ReplayTiming = replay.Timing
@@ -407,6 +494,37 @@ func ReplayLogWith(log *Log, w Workload, tel *Telemetry) (*ReplayResult, error) 
 		return nil, err
 	}
 	return &ReplayResult{Timing: rep.Timing, Intervals: rep.Intervals, FinalMemory: rep.FinalMemory}, nil
+}
+
+// ReplayLogPartialWith replays a possibly damaged log with graceful
+// degradation: the log is patched tolerantly (stores whose target
+// intervals were lost are dropped), a core that stops matching its
+// stream is abandoned and itemized in Degradations instead of failing
+// the run, and the watchdog converts a replay hang into a typed
+// *StalledError. Use it on the output of ReadLogRobust; the result's
+// final state is authoritative only for undegraded cores.
+func ReplayLogPartialWith(log *Log, w Workload, tel *Telemetry) (*ReplayResult, error) {
+	patched := log
+	if !log.Patched {
+		var err error
+		patched, _, err = log.PatchPartial()
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := replay.DefaultConfig()
+	cfg.Telemetry = tel
+	cfg.AllowPartial = true
+	rp, err := replay.New(cfg, patched, w.Progs, w.InitMem, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := rp.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayResult{Timing: rep.Timing, Intervals: rep.Intervals,
+		FinalMemory: rep.FinalMemory, Degradations: rep.Degradations}, nil
 }
 
 // ParallelReplayEstimate is the parallel-replay scheduling estimate
