@@ -23,6 +23,8 @@
 // the exact cycle they happen so the memory race recorder can stamp
 // PISNs and Snoop Counts without any window between value binding and
 // observation.
+//
+//rrlint:deterministic
 package coherence
 
 import (

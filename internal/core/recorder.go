@@ -10,6 +10,8 @@
 // Snoop Table count — let the perform event be logically moved to the
 // counting point and folded into an InorderBlock; otherwise the access
 // is logged as reordered with enough state to replay it (paper §3.3).
+//
+//rrlint:deterministic
 package core
 
 import (
@@ -411,6 +413,8 @@ func (r *Recorder) alloc(e *traqEntry) bool {
 // the value is retained for possible reordered logging, and the line
 // is inserted into the interval signatures (QuickRec inserts at
 // perform time).
+//
+//rrlint:hotpath
 func (r *Recorder) Perform(seq uint64, addr uint64, isRead, isWrite bool, value, storedVal uint64, didWrite bool) {
 	e := r.bySeq[seq]
 	if e == nil {
@@ -453,6 +457,8 @@ func (r *Recorder) Perform(seq uint64, addr uint64, isRead, isWrite bool, value,
 // program order, so a single high-water mark tells whether any
 // instruction (and hence any TRAQ entry, including fillers) has
 // retired.
+//
+//rrlint:hotpath
 func (r *Recorder) RetireInstr(seq uint64, isMem bool) {
 	r.retiredUpTo = seq
 	r.anyRetired = true
@@ -630,6 +636,8 @@ func (r *Recorder) logEntry(e replaylog.Entry) {
 // Tick runs the counting stage: up to CountPerCycle TRAQ entries drain
 // from the head once they are both performed and retired, in program
 // order. It also samples TRAQ occupancy for Figure 12.
+//
+//rrlint:hotpath
 func (r *Recorder) Tick(cycle uint64) {
 	r.Stats.TRAQOccupancySum += uint64(len(r.traq))
 	r.Stats.TRAQSamples++

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"relaxreplay/internal/coherence"
-	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/cpu"
+	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/machine"
 	"relaxreplay/internal/replaylog"

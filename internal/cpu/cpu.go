@@ -26,6 +26,8 @@
 //
 // The memory race recorder observes the core through Hooks; the core
 // itself knows nothing about recording.
+//
+//rrlint:deterministic
 package cpu
 
 import (

@@ -147,6 +147,10 @@ func (s *Suite) ChaosMatrix(inj *faultinject.Injector) (*ChaosResult, error) {
 	for _, c := range cells {
 		t.AddRow(c.App, c.Point, c.Outcome, fmt.Sprintf("%d", c.Fired), c.Detail)
 	}
+	// Cells arrive in parmap's completion-independent index order, but
+	// sort anyway: the table's contract is byte-identical output across
+	// runs regardless of how the rows were produced.
+	t.SortRows()
 	res := &ChaosResult{Cells: cells, Table: t}
 	if bad := res.Forbidden(); len(bad) > 0 {
 		var names []string
@@ -296,7 +300,11 @@ func (s *Suite) chaosBaselineCell(cell ChaosCell, base *Run) ChaosCell {
 		cell.Detail = chaosDetail(err.Error())
 		return cell
 	}
-	_ = replaylog.EncodeWith(&with2, base.Res.Log, nil)
+	if err := replaylog.EncodeWith(&with2, base.Res.Log, nil); err != nil {
+		cell.Outcome = OutcomeError
+		cell.Detail = chaosDetail(err.Error())
+		return cell
+	}
 	if !bytes.Equal(plain.Bytes(), with1.Bytes()) || !bytes.Equal(with1.Bytes(), with2.Bytes()) {
 		cell.Outcome = OutcomeError
 		cell.Detail = "encode not byte-identical with faults disabled"

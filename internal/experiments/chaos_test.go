@@ -131,3 +131,28 @@ func TestSuiteTablesUnchangedByDisabledInjector(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosTableStableAcrossRuns asserts the chaos table renders
+// byte-identically across two independent runs of the same spec: the
+// rows are sorted at the source (stats.Table.SortRows), so neither
+// worker-pool completion order nor map iteration anywhere upstream
+// can leak into the output.
+func TestChaosTableStableAcrossRuns(t *testing.T) {
+	render := func() string {
+		s := chaosSuite(telemetry.New(telemetry.Options{Shards: 2}))
+		inj, err := faultinject.Parse("default@1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.ChaosMatrix(inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Table.String()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Errorf("chaos table diverged across identical runs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}

@@ -193,3 +193,51 @@ func TestRestrict(t *testing.T) {
 		t.Fatal("empty Restrict should be nil")
 	}
 }
+
+// TestPointsParseRoundTrip cross-checks the registry with the spec
+// parser in both directions: every point Points() lists must parse
+// back into an injector that enables exactly that point, and
+// point-shaped names outside the registry must be rejected. rrlint's
+// faultpoint check proves the same property for string literals and
+// -faults docs across the tree at lint time; this pins the runtime
+// half.
+func TestPointsParseRoundTrip(t *testing.T) {
+	seen := make(map[Point]bool)
+	for _, p := range Points() {
+		if seen[p] {
+			t.Errorf("Points() lists %q twice", p)
+		}
+		seen[p] = true
+		in, err := Parse(string(p) + "@1")
+		if err != nil {
+			t.Errorf("registered point %q rejected by Parse: %v", p, err)
+			continue
+		}
+		if !in.Enabled(p) {
+			t.Errorf("Parse(%q@1) did not enable %q", p, p)
+		}
+		for _, q := range Points() {
+			if q != p && in.Enabled(q) {
+				t.Errorf("Parse(%q@1) also enabled %q", p, q)
+			}
+		}
+		if !strings.Contains(pointList(), string(p)) {
+			t.Errorf("pointList() (the parser's error text) omits %q", p)
+		}
+	}
+	for _, typo := range []string{"log.bitflop", "ic.dealy", "flush.crsh"} {
+		if _, err := Parse(typo + "@1"); err == nil {
+			t.Errorf("typo'd point %q accepted by Parse", typo)
+		}
+	}
+	// The default spec must enable the whole registry.
+	in, err := Parse("default@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Points() {
+		if !in.Enabled(p) {
+			t.Errorf("default spec missing registered point %q", p)
+		}
+	}
+}

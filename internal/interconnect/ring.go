@@ -5,6 +5,8 @@
 // messages that visit every node and return to their origin, which is
 // how the snoopy protocol broadcasts and how every core gets to
 // observe every coherence transaction.
+//
+//rrlint:deterministic
 package interconnect
 
 import "relaxreplay/internal/faultinject"

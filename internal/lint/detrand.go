@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrand: the deterministic simulation packages must not consult a
+// wall clock or the process-global RNG. Recording must be a pure
+// function of (workload, config, seed) — the paper's bit-exact replay
+// contract (§3, §5) — so time.Now in a cycle loop or math/rand's
+// global source anywhere in the pipeline is a replay-divergence bug
+// waiting for a test to miss it. Explicitly seeded generators
+// (rand.New(rand.NewSource(seed))) stay legal: determinism comes from
+// the seed, and faultinject's splitmix stream is the house style.
+//
+// A package is deterministic when its import path is one of the seven
+// simulation packages, or when any of its files carries a
+// `//rrlint:deterministic` directive comment.
+
+// deterministicPkgs are the packages whose output the replay contract
+// covers (ISSUE: everything between workload input and encoded log).
+var deterministicPkgs = []string{
+	"relaxreplay/internal/cpu",
+	"relaxreplay/internal/coherence",
+	"relaxreplay/internal/interconnect",
+	"relaxreplay/internal/core",
+	"relaxreplay/internal/machine",
+	"relaxreplay/internal/replay",
+	"relaxreplay/internal/replaylog",
+}
+
+// timeBanned are the time package functions that read the wall clock
+// or schedule against it.
+var timeBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// randSeeded are the math/rand constructors that take an explicit
+// source or seed; everything else at package level draws from the
+// global, unreproducible stream.
+var randSeeded = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+var detrandCheck = &Check{
+	Name: "detrand",
+	Doc:  "no wall clock or global RNG inside the deterministic simulation packages",
+	Run: func(pass *Pass) {
+		for _, pkg := range pass.Prog.Pkgs {
+			if !isDeterministicPkg(pkg) {
+				continue
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					obj := pkg.Info.Uses[sel.Sel]
+					if obj == nil || obj.Pkg() == nil {
+						return true
+					}
+					if _, isFunc := obj.(*types.Func); !isFunc {
+						return true
+					}
+					// Methods are fine: calling through a *rand.Rand (or a
+					// time.Time value) means the caller already holds an
+					// explicit generator/value — only the package-level
+					// functions reach the global stream or the wall clock.
+					if isMethod(obj) {
+						return true
+					}
+					switch obj.Pkg().Path() {
+					case "time":
+						if timeBanned[obj.Name()] {
+							pass.Report(pkg, sel, "time.%s in deterministic package %s (recording must be a pure function of workload+seed)",
+								obj.Name(), pkg.Name)
+						}
+					case "math/rand", "math/rand/v2":
+						if !randSeeded[obj.Name()] {
+							pass.Report(pkg, sel, "global math/rand.%s in deterministic package %s (use an explicitly seeded source)",
+								obj.Name(), pkg.Name)
+						}
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+func isDeterministicPkg(pkg *Package) bool {
+	for _, p := range deterministicPkgs {
+		if pkg.Path == p {
+			return true
+		}
+	}
+	for _, f := range pkg.Files {
+		if fileHasDirective(f, "rrlint:deterministic") {
+			return true
+		}
+	}
+	return false
+}

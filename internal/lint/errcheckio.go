@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// errcheck-io: errors on the log write path must not be discarded.
+// The replaylog encoder and the buffered writers under it are exactly
+// where faultinject aims its write faults (shortwrite, flush.crash),
+// so a dropped error there turns an injected-and-detected fault into
+// a silently truncated log — the one failure mode the robustness PR
+// forbids. Flagged: a call whose error result is discarded (expression
+// statement, or assigned to _) when the callee is (a) any function of
+// package replaylog returning an error, or (b) any Flush method
+// returning an error (bufio.Writer and friends).
+
+var errcheckIOCheck = &Check{
+	Name: "errcheck-io",
+	Doc:  "no discarded errors from replaylog encode/decode or Flush on the log write path",
+	Run: func(pass *Pass) {
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch st := n.(type) {
+					case *ast.ExprStmt:
+						if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+							if why := ioErrCall(pkg, call); why != "" {
+								pass.Report(pkg, call, "%s error discarded (fault injection targets this path; handle or propagate it)", why)
+							}
+						}
+					case *ast.AssignStmt:
+						checkAssignDiscard(pass, pkg, st)
+					case *ast.DeferStmt:
+						if why := ioErrCall(pkg, st.Call); why != "" {
+							pass.Report(pkg, st.Call, "%s error discarded by defer (wrap in a closure that records it)", why)
+						}
+					case *ast.GoStmt:
+						if why := ioErrCall(pkg, st.Call); why != "" {
+							pass.Report(pkg, st.Call, "%s error discarded by go statement", why)
+						}
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+// ioErrCall reports why a call is on the checked IO surface ("" when
+// it is not): a replaylog function or a Flush method, returning error.
+func ioErrCall(pkg *Package, call *ast.CallExpr) string {
+	obj := calleeObj(pkg, call)
+	if obj == nil || !lastResultIsError(pkg, call) {
+		return ""
+	}
+	if pkgPathIs(objPkgPath(obj), "replaylog") {
+		return "replaylog." + obj.Name()
+	}
+	if obj.Name() == "Flush" && isMethod(obj) {
+		return recvTypeName(obj) + ".Flush"
+	}
+	return ""
+}
+
+// checkAssignDiscard flags `_ = replaylog.Encode(...)` and
+// multi-result forms whose error position lands on a blank.
+func checkAssignDiscard(pass *Pass, pkg *Package, st *ast.AssignStmt) {
+	// Only the single-call RHS forms can discard a call's error into a
+	// blank: `_ = f()` or `a, _ := g()`.
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	why := ioErrCall(pkg, call)
+	if why == "" {
+		return
+	}
+	// The error is the last result, so it binds to the last LHS.
+	last := st.Lhs[len(st.Lhs)-1]
+	if id, ok := ast.Unparen(last).(*ast.Ident); ok && id.Name == "_" {
+		pass.Report(pkg, st, "%s error assigned to _ (fault injection targets this path; handle or propagate it)", why)
+	}
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// faultpoint: the fault-injection vocabulary must be closed. Every
+// string that looks like a fault-point name ("log.bitflip",
+// "flush.crash", "ic.delay" — in code or in the doc comments the four
+// cmds print as -faults help) must name a point actually registered in
+// internal/faultinject, and faultinject.Points() must list every
+// declared point. A typo'd spec otherwise fails silently: the chaos
+// matrix reports "no such point" at best, or quietly tests nothing.
+//
+// The check anchors on the loaded faultinject package (by import path
+// or, for fixtures, by package name), collects the string values of
+// its Point-typed constants, then sweeps every package for
+// point-shaped string literals and comment tokens. Telemetry metric
+// names share the dotted-lowercase shape, so string arguments to
+// package telemetry calls (Registry.Counter and friends) — names like
+//rrlint:allow faultpoint -- the next line's example is a metric name, not a point
+// "log.intervals" — are exempt from the sweep.
+
+// faultPointShape matches a fault-point-name-looking token: one of
+// the known family prefixes, a dot, and a lowercase word.
+var faultPointShape = regexp.MustCompile(`^(log|ic|flush)\.[a-z][a-z0-9]*$`)
+
+// faultPointInText finds point-shaped tokens inside prose (comments).
+var faultPointInText = regexp.MustCompile(`\b(log|ic|flush)\.[a-z][a-z0-9]*\b`)
+
+var faultpointCheck = &Check{
+	Name: "faultpoint",
+	Doc:  "fault-point name strings and Points() must match faultinject's registered set exactly",
+	Run: func(pass *Pass) {
+		fi := pass.Prog.Lookup("relaxreplay/internal/faultinject")
+		if fi == nil {
+			fi = pass.Prog.LookupName("faultinject")
+		}
+		if fi == nil || fi.Types == nil {
+			return // nothing to anchor on (not loaded in this run)
+		}
+		registered, constDecls := faultPoints(fi)
+		if len(registered) == 0 {
+			return
+		}
+
+		checkPointsFunc(pass, fi, registered)
+
+		known := func(name string) bool { return registered[name] != "" }
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, f := range pkg.Files {
+				exempt := metricNameLits(pkg, f)
+				ast.Inspect(f, func(n ast.Node) bool {
+					lit, ok := n.(*ast.BasicLit)
+					if !ok || lit.Kind.String() != "STRING" {
+						return true
+					}
+					if constDecls[lit] || exempt[lit] {
+						return true // registry declarations / metric names
+					}
+					s, err := strconv.Unquote(lit.Value)
+					if err != nil || !faultPointShape.MatchString(s) {
+						return true
+					}
+					if !known(s) {
+						pass.Report(pkg, lit, "fault point %q is not registered in faultinject (known: %s)",
+							s, knownList(registered))
+					}
+					return true
+				})
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						for _, m := range faultPointInText.FindAllString(c.Text, -1) {
+							if !known(m) {
+								pass.Report(pkg, c, "comment names fault point %q which is not registered in faultinject (typo'd -faults docs; known: %s)",
+									m, knownList(registered))
+							}
+						}
+					}
+				}
+			}
+		}
+	},
+}
+
+// metricNameLits collects the string literals passed directly to
+// package telemetry calls in one file: metric names, which share the
+// fault-point shape but live in a different namespace.
+func metricNameLits(pkg *Package, f *ast.File) map[*ast.BasicLit]bool {
+	exempt := make(map[*ast.BasicLit]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pkg, call)
+		if obj == nil || !pkgPathIs(objPkgPath(obj), "telemetry") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok {
+				exempt[lit] = true
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// faultPoints collects the string values of faultinject's Point-typed
+// constants, mapping value -> const name, plus the set of BasicLits
+// that declare them (exempt from the literal sweep).
+func faultPoints(fi *Package) (map[string]string, map[*ast.BasicLit]bool) {
+	points := make(map[string]string)
+	decls := make(map[*ast.BasicLit]bool)
+	for _, f := range fi.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj, ok := fi.Info.Defs[name].(*types.Const)
+					if !ok || !isPointType(obj.Type()) {
+						continue
+					}
+					if obj.Val().Kind() != constant.String {
+						continue
+					}
+					points[constant.StringVal(obj.Val())] = name.Name
+					if i < len(vs.Values) {
+						if lit, ok := ast.Unparen(vs.Values[i]).(*ast.BasicLit); ok {
+							decls[lit] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, decls
+}
+
+func isPointType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Point"
+}
+
+// checkPointsFunc verifies that faultinject's Points() function
+// mentions every declared Point constant — the registry callers (the
+// -faults parser, the chaos matrix) enumerate through Points(), so a
+// constant missing from it is a point no spec can ever enable.
+func checkPointsFunc(pass *Pass, fi *Package, registered map[string]string) {
+	for _, f := range fi.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Points" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			mentioned := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if c, ok := fi.Info.Uses[id].(*types.Const); ok && isPointType(c.Type()) &&
+					c.Val().Kind() == constant.String {
+					mentioned[constant.StringVal(c.Val())] = true
+				}
+				return true
+			})
+			var missing []string
+			for val, name := range registered {
+				if !mentioned[val] {
+					missing = append(missing, name+" ("+val+")")
+				}
+			}
+			sort.Strings(missing)
+			if len(missing) > 0 {
+				pass.Report(fi, fd.Name, "Points() omits declared fault point(s): %s (no -faults spec can enable them)",
+					strings.Join(missing, ", "))
+			}
+			return
+		}
+	}
+}
+
+func knownList(registered map[string]string) string {
+	var names []string
+	for v := range registered {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// hotpath-alloc: functions annotated `//rrlint:hotpath` in their doc
+// comment are the per-instruction / per-event paths (telemetry
+// counters, the recorder counting stage) where DESIGN.md's overhead
+// rules demand zero allocation. Flagged inside such a function:
+//
+//   - fmt.* calls (interface boxing allocates, and formatting in a
+//     per-cycle path is a bug regardless);
+//   - function literals (closure environments allocate and the
+//     capture defeats inlining);
+//   - composite literals (slice/map/struct literals allocate or copy;
+//     hot-path state is pre-allocated at construction time).
+//
+// The annotation is opt-in and the findings are suppressible line by
+// line, so a deliberately cold branch inside a hot function (e.g. a
+// once-per-interval trace emission behind a nil check) can carry an
+// `//rrlint:allow hotpath-alloc` with the reasoning next to it.
+
+var hotpathCheck = &Check{
+	Name: "hotpath-alloc",
+	Doc:  "functions marked //rrlint:hotpath must not call fmt, close over state, or build composite literals",
+	Run: func(pass *Pass) {
+		for _, pkg := range pass.Prog.Pkgs {
+			eachFuncBody(pkg, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+				if decl == nil || !isHotpath(decl) {
+					return
+				}
+				name := decl.Name.Name
+				ast.Inspect(body, func(n ast.Node) bool {
+					switch v := n.(type) {
+					case *ast.CallExpr:
+						if obj := calleeObj(pkg, v); obj != nil && objPkgPath(obj) == "fmt" {
+							pass.Report(pkg, v, "fmt.%s call in hotpath function %s (boxing + formatting allocate)", obj.Name(), name)
+						}
+					case *ast.FuncLit:
+						pass.Report(pkg, v, "closure in hotpath function %s (environment capture allocates)", name)
+					case *ast.CompositeLit:
+						pass.Report(pkg, v, "composite literal in hotpath function %s (allocate at construction time instead)", name)
+					}
+					return true
+				})
+			})
+		}
+	},
+}
+
+func isHotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.Contains(c.Text, "rrlint:hotpath") {
+			return true
+		}
+	}
+	return false
+}

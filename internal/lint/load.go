@@ -1,0 +1,385 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Program is a loaded, parsed and type-checked set of packages from
+// one module, in dependency (topological) order.
+type Program struct {
+	Fset   *token.FileSet
+	Module string // module path from go.mod ("" when loading a bare tree)
+	Root   string // module root directory
+	Pkgs   []*Package
+
+	byPath map[string]*Package
+}
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Prog    *Program
+	Path    string // import path (module-relative for bare trees)
+	Dir     string
+	Name    string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Imports []string
+
+	// TypeErrors collects type-checker complaints without aborting the
+	// run: a package that fails to fully check still gets the syntactic
+	// checks, and the caller decides whether errors are fatal.
+	TypeErrors []error
+}
+
+// Lookup returns the loaded package with the given import path, or
+// nil. Checks use it to find cross-package anchors (e.g. faultpoint
+// locating the faultinject package).
+func (p *Program) Lookup(path string) *Package {
+	return p.byPath[path]
+}
+
+// LookupName returns the first loaded package with the given package
+// name (not path). Testdata trees have no real module paths, so checks
+// that anchor on a specific package fall back to its name.
+func (p *Program) LookupName(name string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Name == name {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Load parses and type-checks the packages selected by patterns
+// (either "./..." for the whole tree or explicit directories),
+// relative to dir. dir (or an ancestor) may contain a go.mod naming
+// the module; a bare tree (e.g. a lint testdata fixture) loads with
+// directory-relative import paths.
+func Load(dir string, patterns ...string) (*Program, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, module := findModule(abs)
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Module: module,
+		Root:   root,
+		byPath: make(map[string]*Package),
+	}
+
+	dirs, err := expandPatterns(abs, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Parse every selected directory first so import edges are known
+	// before any type-checking starts.
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := prog.parseDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable Go files
+		}
+		pkgs = append(pkgs, pkg)
+		prog.byPath[pkg.Path] = pkg
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("lint: no Go packages match %v under %s", patterns, abs)
+	}
+
+	ordered, err := topoSort(pkgs, prog.byPath)
+	if err != nil {
+		return nil, err
+	}
+	prog.Pkgs = ordered
+
+	// Stdlib imports type-check from source (importer.ForCompiler with
+	// the "source" compiler — the gc importer has no export data to
+	// read in modern toolchains); module-internal imports resolve to
+	// the packages we just checked, which topological order guarantees
+	// are done first.
+	imp := &progImporter{
+		prog:   prog,
+		source: stdlibImporter,
+	}
+	for _, pkg := range prog.Pkgs {
+		pkg.check(imp)
+	}
+	return prog, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod, returning the
+// module root and path ("" and dir when there is none).
+func findModule(dir string) (root, module string) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					if m, err := strconv.Unquote(rest); err == nil {
+						return d, m
+					}
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			return d, ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir, ""
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves the CLI package patterns to directories.
+// Supported forms: "./...", "dir/...", "./dir", "dir".
+func expandPatterns(base, root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		if pat == "" || pat == "." {
+			pat = base
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(base, pat)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			// testdata trees hold lint fixtures with deliberate
+			// findings; hidden and vendored trees are not ours.
+			if path != pat && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	_ = root
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory, returning
+// nil when there are none. Test files are out of scope: tests
+// legitimately use wall clocks and RNGs, and the determinism contract
+// binds the simulator, not its test harness.
+func (p *Program) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	_ = names
+
+	pkg := &Package{
+		Prog:  p,
+		Dir:   dir,
+		Name:  files[0].Name.Name,
+		Files: files,
+		Path:  p.importPath(dir),
+	}
+	impSeen := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !impSeen[path] {
+				impSeen[path] = true
+				pkg.Imports = append(pkg.Imports, path)
+			}
+		}
+	}
+	sort.Strings(pkg.Imports)
+	return pkg, nil
+}
+
+// importPath maps a directory to its import path: module-qualified
+// when a go.mod governs the tree, root-relative otherwise.
+func (p *Program) importPath(dir string) string {
+	rel, err := filepath.Rel(p.Root, dir)
+	if err != nil || rel == "." {
+		if p.Module != "" {
+			return p.Module
+		}
+		return filepath.Base(dir)
+	}
+	rel = filepath.ToSlash(rel)
+	if p.Module != "" {
+		return p.Module + "/" + rel
+	}
+	return rel
+}
+
+// internal reports whether an import path belongs to the loaded tree.
+func (p *Program) internal(path string) bool {
+	if p.byPath[path] != nil {
+		return true
+	}
+	return p.Module != "" && (path == p.Module || strings.HasPrefix(path, p.Module+"/"))
+}
+
+// topoSort orders packages so every module-internal dependency
+// precedes its importer.
+func topoSort(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	const (
+		white = iota // unvisited
+		grey         // on the current DFS stack
+		black        // done
+	)
+	state := make(map[string]int)
+	var out []*Package
+	var visit func(pkg *Package, stack []string) error
+	visit = func(pkg *Package, stack []string) error {
+		switch state[pkg.Path] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("lint: import cycle: %s -> %s", strings.Join(stack, " -> "), pkg.Path)
+		}
+		state[pkg.Path] = grey
+		for _, imp := range pkg.Imports {
+			if dep := byPath[imp]; dep != nil {
+				if err := visit(dep, append(stack, pkg.Path)); err != nil {
+					return err
+				}
+			}
+		}
+		state[pkg.Path] = black
+		out = append(out, pkg)
+		return nil
+	}
+	for _, pkg := range pkgs {
+		if err := visit(pkg, nil); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// stdlibImporter is shared across Load calls: the source importer
+// re-type-checks each stdlib package from scratch (fmt's transitive
+// closure costs seconds) and caches per-instance, so one process-wide
+// instance amortizes the cost across loads — the golden-file tests
+// load seven fixture trees. Stdlib positions land in a private
+// FileSet, which is fine: diagnostics never point into the stdlib.
+// Load is correspondingly not safe for concurrent use.
+var stdlibImporter = importer.ForCompiler(token.NewFileSet(), "source", nil)
+
+// progImporter resolves imports during type-checking: loaded packages
+// by path, "unsafe" specially, everything else (the stdlib) from
+// source via go/importer.
+type progImporter struct {
+	prog   *Program
+	source types.Importer
+	stdlib map[string]*types.Package
+}
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg := pi.prog.byPath[path]; pkg != nil {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: import %q not yet type-checked (cycle?)", path)
+		}
+		return pkg.Types, nil
+	}
+	if pi.prog.internal(path) {
+		return nil, fmt.Errorf("lint: module package %q not loaded (pass ./... or include it)", path)
+	}
+	if cached := pi.stdlib[path]; cached != nil {
+		return cached, nil
+	}
+	tp, err := pi.source.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	if pi.stdlib == nil {
+		pi.stdlib = make(map[string]*types.Package)
+	}
+	pi.stdlib[path] = tp
+	return tp, nil
+}
+
+// check type-checks one parsed package, collecting (not aborting on)
+// type errors.
+func (pkg *Package) check(imp types.Importer) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tp, _ := cfg.Check(pkg.Path, pkg.Prog.Fset, pkg.Files, info)
+	pkg.Types = tp
+	pkg.Info = info
+}

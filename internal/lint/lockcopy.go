@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockcopy: values holding locks or atomics travel by pointer, never
+// by value. A copied sync.Mutex is an independent lock (mutual
+// exclusion silently gone); a copied telemetry registry or padded
+// atomic cell splits the counter in two, so half the increments
+// vanish from the report. `go vet -copylocks` covers the mutex cases;
+// this check extends the same rule to sync/atomic value types (the
+// telemetry shard cells) and runs inside rrlint so CI has one gate.
+//
+// Flagged: by-value parameters and receivers, call arguments, plain
+// variable copies, and range-value copies of any type that
+// transitively contains a sync lock or a sync/atomic value type.
+// Fresh composite literals are legal (no state exists to lose yet).
+
+var lockcopyCheck = &Check{
+	Name: "lockcopy",
+	Doc:  "no by-value copies of types containing locks or atomics (mutexes, telemetry cells)",
+	Run: func(pass *Pass) {
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch v := n.(type) {
+					case *ast.FuncDecl:
+						checkFuncSig(pass, pkg, v.Recv, v.Type)
+					case *ast.FuncLit:
+						checkFuncSig(pass, pkg, nil, v.Type)
+					case *ast.CallExpr:
+						checkCallArgs(pass, pkg, v)
+					case *ast.AssignStmt:
+						checkAssignCopy(pass, pkg, v)
+					case *ast.RangeStmt:
+						if v.Value != nil {
+							t := exprType(pkg, v.Value)
+							if t == nil {
+								// `for _, g := range xs` defines g, so the
+								// ident lives in Defs, not Types.
+								if id, ok := ast.Unparen(v.Value).(*ast.Ident); ok {
+									if obj := pkg.Info.ObjectOf(id); obj != nil {
+										t = obj.Type()
+									}
+								}
+							}
+							if t != nil && lockPath(t) != "" {
+								pass.Report(pkg, v.Value, "range copies value containing %s by value (index into the container instead)", lockPath(t))
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+func exprType(pkg *Package, e ast.Expr) types.Type {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func checkFuncSig(pass *Pass, pkg *Package, recv *ast.FieldList, ft *ast.FuncType) {
+	fields := []*ast.FieldList{recv, ft.Params}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if p := lockPath(tv.Type); p != "" {
+				pass.Report(pkg, field.Type, "parameter passes %s by value (use a pointer)", p)
+			}
+		}
+	}
+}
+
+func checkCallArgs(pass *Pass, pkg *Package, call *ast.CallExpr) {
+	// A conversion is not a call; its "argument" is not copied into a
+	// callee frame (and conversions of lock-free named types over
+	// lock-bearing underlying types are impossible anyway).
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	for _, arg := range call.Args {
+		arg = ast.Unparen(arg)
+		if _, isLit := arg.(*ast.CompositeLit); isLit {
+			continue // a fresh value has no lock state to lose
+		}
+		if t := exprType(pkg, arg); t != nil {
+			if p := lockPath(t); p != "" {
+				pass.Report(pkg, arg, "call copies %s by value (pass a pointer)", p)
+			}
+		}
+	}
+}
+
+func checkAssignCopy(pass *Pass, pkg *Package, st *ast.AssignStmt) {
+	for _, rhs := range st.Rhs {
+		rhs = ast.Unparen(rhs)
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			// Copying an existing value: the dangerous forms. Fresh
+			// composite literals and call results are initializations.
+		default:
+			continue
+		}
+		if t := exprType(pkg, rhs); t != nil {
+			if p := lockPath(t); p != "" {
+				pass.Report(pkg, rhs, "assignment copies %s by value (take a pointer)", p)
+			}
+		}
+	}
+}
+
+// lockTypes are the sync and sync/atomic types whose values must not
+// be copied once used.
+var lockTypes = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Once": true, "sync.Cond": true, "sync.Map": true, "sync.Pool": true,
+	"sync/atomic.Bool": true, "sync/atomic.Int32": true, "sync/atomic.Int64": true,
+	"sync/atomic.Uint32": true, "sync/atomic.Uint64": true, "sync/atomic.Uintptr": true,
+	"sync/atomic.Pointer": true, "sync/atomic.Value": true,
+}
+
+// lockPath returns a human-readable path to the first lock-bearing
+// component of t ("" when none): e.g. "sync.Mutex" or
+// "Registry.mu (sync.Mutex)".
+func lockPath(t types.Type) string {
+	return lockPathRec(t, make(map[types.Type]bool))
+}
+
+func lockPathRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			full := obj.Pkg().Path() + "." + obj.Name()
+			if lockTypes[full] {
+				return full
+			}
+		}
+		if p := lockPathRec(named.Underlying(), seen); p != "" {
+			if obj != nil {
+				return obj.Name() + " (" + p + ")"
+			}
+			return p
+		}
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPathRec(u.Field(i).Type(), seen); p != "" {
+				return u.Field(i).Name() + "." + p
+			}
+		}
+	case *types.Array:
+		return lockPathRec(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,40 @@
+// Package detrand is a lint fixture: a self-declared deterministic
+// package that consults the wall clock and the global RNG.
+//
+//rrlint:deterministic
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock twice.
+func Stamp() int64 {
+	t := time.Now()
+	elapsed := time.Since(t)
+	return t.Unix() + int64(elapsed)
+}
+
+// Roll draws from the process-global stream.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Jittered is a deliberate exception with the reasoning attached.
+func Jittered() int {
+	return rand.Intn(6) //rrlint:allow detrand -- fixture: suppressed on purpose
+}
+
+// Seeded uses an explicitly seeded source: determinism comes from the
+// seed, so both the constructors and the methods on the generator are
+// legal.
+func Seeded(seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Uint64()
+}
+
+// Elapsed does arithmetic on time values without reading the clock.
+func Elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}

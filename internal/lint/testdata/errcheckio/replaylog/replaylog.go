@@ -1,0 +1,26 @@
+// Package replaylog is a lint fixture mirroring the real encoder's
+// shape: functions on the log write path that return errors callers
+// must not drop.
+package replaylog
+
+import "io"
+
+// Log is a stand-in for the recorded log.
+type Log struct {
+	Frames int
+}
+
+// Encode writes l to w.
+func Encode(w io.Writer, l *Log) error {
+	_, err := w.Write([]byte{byte(l.Frames)})
+	return err
+}
+
+// Decode reads a log from r.
+func Decode(r io.Reader) (*Log, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return nil, err
+	}
+	return &Log{Frames: int(b[0])}, nil
+}

@@ -1,0 +1,39 @@
+// Package use is a lint fixture: every way to drop an error on the
+// log write path, plus the handled forms.
+package use
+
+import (
+	"bufio"
+	"io"
+
+	"relaxreplay/internal/lint/testdata/errcheckio/replaylog"
+)
+
+// DropAll discards errors four ways.
+func DropAll(w io.Writer, l *replaylog.Log) {
+	replaylog.Encode(w, l)
+	_ = replaylog.Encode(w, l)
+	bw := bufio.NewWriter(w)
+	go replaylog.Encode(bw, l)
+	defer bw.Flush()
+}
+
+// DropDecode discards only the error half of a multi-result call.
+func DropDecode(r io.Reader) *replaylog.Log {
+	l, _ := replaylog.Decode(r)
+	return l
+}
+
+// BestEffort drops an error deliberately, with the reasoning attached.
+func BestEffort(w io.Writer, l *replaylog.Log) {
+	_ = replaylog.Encode(w, l) //rrlint:allow errcheck-io -- fixture: best-effort mirror copy
+}
+
+// Clean handles every error on the path.
+func Clean(w io.Writer, l *replaylog.Log) error {
+	bw := bufio.NewWriter(w)
+	if err := replaylog.Encode(bw, l); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

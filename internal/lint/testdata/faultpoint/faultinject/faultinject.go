@@ -1,0 +1,20 @@
+// Package faultinject is a lint fixture mirroring the real registry's
+// shape: Point-typed constants plus a Points() enumeration that has
+// drifted out of sync.
+package faultinject
+
+// Point names one injectable fault site.
+type Point string
+
+// The registered fault points.
+const (
+	LogBitFlip Point = "log.bitflip"
+	ICDelay    Point = "ic.delay"
+	FlushCrash Point = "flush.crash"
+)
+
+// Points lists the registry for the -faults parser. It omits
+// FlushCrash, so no spec can ever enable that point.
+func Points() []Point {
+	return []Point{LogBitFlip, ICDelay}
+}

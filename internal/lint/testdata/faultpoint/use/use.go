@@ -1,0 +1,27 @@
+// Package use is a lint fixture exercising the faultpoint literal and
+// comment sweeps against the sibling faultinject registry.
+package use
+
+// Specs are chaos specs: two name points that are not registered.
+var Specs = []string{
+	"log.bitflip",
+	"log.bitflop",
+	"ic.dealy",
+	"flush.crash",
+}
+
+// Sentinel shares the point shape but is deliberately not a point.
+var Sentinel = "log.sentinel" //rrlint:allow faultpoint -- fixture: marker string, not a point
+
+// BadDoc documents the -faults flag and names ic.dely, a typo no
+// spec parser will ever accept.
+func BadDoc() {}
+
+// GoodDoc exists so the suppressed comment group below has an anchor.
+func GoodDoc() {}
+
+// The group below is free-standing (gofmt leaves its line order
+// alone, unlike a doc comment, where directives sink to the bottom):
+//
+//rrlint:allow faultpoint -- fixture: the next line is a counter-example on purpose
+// ...the help text deliberately names flush.flood, a non-existent point.

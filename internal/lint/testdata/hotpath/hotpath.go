@@ -1,0 +1,42 @@
+// Package hotpath is a lint fixture: annotated per-event paths that
+// allocate, one with a deliberate cold-branch exemption, and an
+// unannotated function the check must ignore.
+package hotpath
+
+import "fmt"
+
+// Counter is a fixture hot-path counter.
+type Counter struct {
+	n      uint64
+	labels []string
+}
+
+// Add is the per-event fast path and stays allocation-free.
+//
+//rrlint:hotpath
+func (c *Counter) Add(n uint64) {
+	c.n += n
+}
+
+// Describe is annotated hot but allocates three ways.
+//
+//rrlint:hotpath
+func (c *Counter) Describe(n uint64) string {
+	get := func() uint64 { return c.n + n }
+	c.labels = []string{"n"}
+	return fmt.Sprintf("%d", get())
+}
+
+// Trace is hot, but its formatting branch is a once-per-interval cold
+// path with the exemption spelled out.
+//
+//rrlint:hotpath
+func (c *Counter) Trace() string {
+	//rrlint:allow hotpath-alloc -- fixture: cold branch, once per interval
+	return fmt.Sprintf("%d", c.n)
+}
+
+// Cold is not annotated; anything goes.
+func (c *Counter) Cold() string {
+	return fmt.Sprintf("%d: %v", c.n, c.labels)
+}

@@ -1,0 +1,76 @@
+// Package lockcopy is a lint fixture: lock- and atomic-bearing values
+// copied every way the check covers, plus the pointer-clean forms.
+package lockcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guarded holds a mutex, so values must travel by pointer.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Cell holds an atomic counter; a copy splits the counter in two.
+type Cell struct {
+	v atomic.Uint64
+}
+
+// ByValue receives the lock by value: callers lock a different mutex
+// than the callee.
+func ByValue(g Guarded) int {
+	return g.n
+}
+
+// Deref copies through a pointer.
+func Deref(g *Guarded) int {
+	h := *g
+	h.n++
+	return h.n
+}
+
+// Forward copies the lock into a callee frame.
+func Forward(g *Guarded) {
+	consume(*g)
+}
+
+// Sweep copies each element out of the slice.
+func Sweep(gs []Guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+// SnapshotCell copies the padded atomic cell by value.
+func SnapshotCell(c Cell) uint64 {
+	return c.v.Load()
+}
+
+// Frozen copies deliberately: the value is dead after the copy and
+// the reasoning is attached.
+func Frozen(g *Guarded) int {
+	h := *g //rrlint:allow lockcopy -- fixture: g is quiesced, copy is a snapshot
+	return h.n
+}
+
+// CleanByPointer is the blessed form.
+func CleanByPointer(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// CleanIndex indexes into the container instead of copying out.
+func CleanIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+func consume(v interface{}) { _ = v }

@@ -3,6 +3,8 @@
 // coherence), advanced in lockstep on a single global cycle clock. The
 // global clock is also the globally-consistent timestamp source that
 // the QuickRec-style interval orderer uses (paper §4.1).
+//
+//rrlint:deterministic
 package machine
 
 import (

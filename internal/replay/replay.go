@@ -9,6 +9,8 @@
 //
 // The replayer is oblivious to whether the log came from
 // RelaxReplay_Base or RelaxReplay_Opt; both use the same format.
+//
+//rrlint:deterministic
 package replay
 
 import (

@@ -7,6 +7,8 @@
 //
 // Log sizes are accounted in uncompressed bits using the paper's field
 // widths, which is what Figure 11 reports.
+//
+//rrlint:deterministic
 package replaylog
 
 import "fmt"

@@ -4,6 +4,7 @@ package stats
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -26,6 +27,24 @@ func (t *Table) AddRow(cells ...string) {
 
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
+
+// SortRows orders the data rows lexicographically, first column first
+// (missing cells sort before empty strings' equals — a shorter row
+// precedes a longer one with the same prefix). Callers that assemble
+// rows from map-derived or concurrently produced sources sort at the
+// source so a rendered table is byte-identical across runs; the sort
+// is stable, so rows with equal keys keep their insertion order.
+func (t *Table) SortRows() {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		a, b := t.rows[i], t.rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
 
 // String renders the table.
 func (t *Table) String() string {

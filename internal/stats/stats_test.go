@@ -69,3 +69,34 @@ func TestZeroColumnTableRenders(t *testing.T) {
 	untitled := NewTable("")
 	_ = untitled.String()
 }
+
+func TestSortRows(t *testing.T) {
+	tb := NewTable("", "app", "fault", "n")
+	tb.AddRow("lu", "ic.drop", "1")
+	tb.AddRow("fft", "ic.drop", "2")
+	tb.AddRow("fft", "baseline", "3")
+	tb.AddRow("lu")
+	tb.SortRows()
+	sorted := NewTable("", "app", "fault", "n")
+	sorted.AddRow("fft", "baseline", "3")
+	sorted.AddRow("fft", "ic.drop", "2")
+	sorted.AddRow("lu") // shorter row sorts before its longer extensions
+	sorted.AddRow("lu", "ic.drop", "1")
+	if got, want := tb.String(), sorted.String(); got != want {
+		t.Errorf("sorted render:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// SortRows is stable: rows with equal keys keep insertion order.
+func TestSortRowsStable(t *testing.T) {
+	tb := NewTable("", "k", "v")
+	tb.AddRow("a", "first")
+	tb.AddRow("a", "second")
+	tb.AddRow("a", "third")
+	tb.SortRows()
+	want := tb.String()
+	tb.SortRows()
+	if tb.String() != want {
+		t.Error("second SortRows changed the order of equal-keyed rows")
+	}
+}
