@@ -190,6 +190,49 @@ type Stats struct {
 	SupersededWBEvents uint64
 }
 
+// Sub returns the counter-wise difference s - o. Both snapshots must
+// come from the same system with s taken later.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		L1Hits:             s.L1Hits - o.L1Hits,
+		L1Misses:           s.L1Misses - o.L1Misses,
+		Upgrades:           s.Upgrades - o.Upgrades,
+		DirtyEvictions:     s.DirtyEvictions - o.DirtyEvictions,
+		Transactions:       s.Transactions - o.Transactions,
+		SnoopsObserved:     s.SnoopsObserved - o.SnoopsObserved,
+		CacheToCache:       s.CacheToCache - o.CacheToCache,
+		L2Misses:           s.L2Misses - o.L2Misses,
+		RingMessages:       s.RingMessages - o.RingMessages,
+		MSHRRejects:        s.MSHRRejects - o.MSHRRejects,
+		InvalidationsSent:  s.InvalidationsSent - o.InvalidationsSent,
+		StaleWritebacks:    s.StaleWritebacks - o.StaleWritebacks,
+		WBBufferSupplies:   s.WBBufferSupplies - o.WBBufferSupplies,
+		SupersededWBEvents: s.SupersededWBEvents - o.SupersededWBEvents,
+	}
+}
+
+// AddScaled adds n copies of the per-cycle delta d to s, mirroring
+// cpu.Stats.AddScaled for the machine's idle-cycle fast-forward. An
+// inert memory system has an all-zero delta, but the method stays
+// field-complete so a future per-cycle counter cannot be silently
+// dropped.
+func (s *Stats) AddScaled(d Stats, n uint64) {
+	s.L1Hits += d.L1Hits * n
+	s.L1Misses += d.L1Misses * n
+	s.Upgrades += d.Upgrades * n
+	s.DirtyEvictions += d.DirtyEvictions * n
+	s.Transactions += d.Transactions * n
+	s.SnoopsObserved += d.SnoopsObserved * n
+	s.CacheToCache += d.CacheToCache * n
+	s.L2Misses += d.L2Misses * n
+	s.RingMessages += d.RingMessages * n
+	s.MSHRRejects += d.MSHRRejects * n
+	s.InvalidationsSent += d.InvalidationsSent * n
+	s.StaleWritebacks += d.StaleWritebacks * n
+	s.WBBufferSupplies += d.WBBufferSupplies * n
+	s.SupersededWBEvents += d.SupersededWBEvents * n
+}
+
 // System is the full memory hierarchy for one simulated machine.
 type System struct {
 	cfg   Config
@@ -200,9 +243,23 @@ type System struct {
 
 	events   eventQueue
 	eventSeq uint64
+	// freeEvents recycles fired event boxes so the steady-state event
+	// traffic allocates nothing.
+	freeEvents []*event
+
+	// work counts state mutations inside Tick (ring activity, events
+	// fired). The machine's idle-cycle fast-forward treats a tick whose
+	// work count did not move — here and in every core — as provably
+	// inert and safe to skip.
+	work uint64
 
 	performs    []PerformEvent
 	completions []Completion
+	// Spare buffers for the double-buffered Drain* calls: the slice a
+	// drain returns stays valid until the next drain of the same kind,
+	// while new events accumulate in the other buffer.
+	performsSpare    []PerformEvent
+	completionsSpare []Completion
 
 	// OnPerform, when set, receives every perform event synchronously,
 	// at the exact point within the cycle where the value binds. This
@@ -395,14 +452,28 @@ func (s *System) Busy() bool {
 // Tick advances the memory system one cycle. The caller then drains
 // DrainPerforms (same-cycle perform events, for the recorder) and
 // DrainCompletions (pipeline notifications).
+//
+//rrlint:hotpath
 func (s *System) Tick() {
 	s.cycle++
+	if s.ring.Busy() {
+		// A busy ring always mutates: hops, deliveries or injections.
+		s.work++
+	}
 	for _, d := range s.ring.Tick() {
 		s.dispatch(d)
 	}
 	for len(s.events) > 0 && s.events[0].cycle <= s.cycle {
 		ev := heap.Pop(&s.events).(*event)
-		ev.fn()
+		s.work++
+		if ev.fn != nil {
+			ev.fn()
+			ev.fn = nil // release the closure before recycling
+		} else {
+			// Tagged completion event (see complete).
+			s.completions = append(s.completions, Completion{Core: ev.core, ID: ev.id, Value: ev.value, Cycle: s.cycle}) //rrlint:allow hotpath-alloc (amortized append into reused buffer)
+		}
+		s.freeEvents = append(s.freeEvents, ev)
 	}
 	s.Stats.RingMessages = s.ring.Injected
 	if s.tel.mshrOcc != nil {
@@ -412,17 +483,48 @@ func (s *System) Tick() {
 	}
 }
 
-// DrainPerforms returns and clears the perform events generated this cycle.
+// WorkCount returns a monotonically increasing count of state
+// mutations performed by Tick. If it does not move across a tick the
+// memory system's architectural state was untouched that cycle.
+func (s *System) WorkCount() uint64 { return s.work }
+
+// NextEventCycle returns the cycle of the earliest scheduled event,
+// if any. The fast-forward path uses it as a wake-up bound: with no
+// ring traffic, nothing in the memory system can change before that
+// cycle.
+func (s *System) NextEventCycle() (uint64, bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].cycle, true
+}
+
+// SkipTo advances the system clock to cycle without simulating the
+// intervening ticks. The caller (the machine's fast-forward) must have
+// proven the system inert: no ring traffic and no event due before
+// cycle.
+func (s *System) SkipTo(cycle uint64) {
+	if cycle > s.cycle {
+		s.cycle = cycle
+	}
+}
+
+// DrainPerforms returns and clears the perform events generated this
+// cycle. The returned slice is valid until the next DrainPerforms call.
 func (s *System) DrainPerforms() []PerformEvent {
 	out := s.performs
-	s.performs = nil
+	s.performs = s.performsSpare[:0]
+	s.performsSpare = out
 	return out
 }
 
-// DrainCompletions returns and clears the completions due by this cycle.
+// DrainCompletions returns and clears the completions due by this
+// cycle. The returned slice is valid until the next DrainCompletions
+// call.
 func (s *System) DrainCompletions() []Completion {
 	out := s.completions
-	s.completions = nil
+	s.completions = s.completionsSpare[:0]
+	s.completionsSpare = out
 	return out
 }
 
@@ -437,8 +539,29 @@ func (s *System) dispatch(d interconnect.Delivery) {
 }
 
 func (s *System) at(delay uint64, fn func()) {
+	e := s.takeEvent()
+	e.cycle = s.cycle + delay
+	e.fn = fn
+	heap.Push(&s.events, e)
+}
+
+// takeEvent returns a reset event box with a fresh sequence number,
+// reusing a fired one when available.
+//
+//rrlint:hotpath
+func (s *System) takeEvent() *event {
 	s.eventSeq++
-	heap.Push(&s.events, &event{cycle: s.cycle + delay, seq: s.eventSeq, fn: fn})
+	var e *event
+	if n := len(s.freeEvents); n > 0 {
+		e = s.freeEvents[n-1]
+		s.freeEvents[n-1] = nil
+		s.freeEvents = s.freeEvents[:n-1]
+		*e = event{} //rrlint:allow hotpath-alloc (in-place reset of recycled box)
+	} else {
+		e = new(event)
+	}
+	e.seq = s.eventSeq
+	return e
 }
 
 func (s *System) perform(ev PerformEvent) {
@@ -450,10 +573,16 @@ func (s *System) perform(ev PerformEvent) {
 	s.performs = append(s.performs, ev)
 }
 
+// complete schedules a pipeline completion notification. It is the
+// highest-traffic event kind, so instead of a closure it uses a tagged
+// event (fn == nil) whose payload rides in the event box itself.
+//
+//rrlint:hotpath
 func (s *System) complete(core int, id uint64, value uint64, delay uint64) {
-	s.at(delay, func() {
-		s.completions = append(s.completions, Completion{Core: core, ID: id, Value: value, Cycle: s.cycle})
-	})
+	e := s.takeEvent()
+	e.cycle = s.cycle + delay
+	e.core, e.id, e.value = core, id, value
+	heap.Push(&s.events, e)
 }
 
 func (s *System) observeSnoop(core int, line uint64, isWrite bool, requester int) {
@@ -469,7 +598,13 @@ func (s *System) observeSnoop(core int, line uint64, isWrite bool, requester int
 type event struct {
 	cycle uint64
 	seq   uint64
+	// fn, when non-nil, is an arbitrary protocol action. When nil the
+	// event is a tagged completion carrying its payload inline (see
+	// System.complete), which keeps the hottest event kind closure-free.
 	fn    func()
+	core  int
+	id    uint64
+	value uint64
 }
 
 type eventQueue []*event

@@ -232,6 +232,70 @@ type Stats struct {
 	DirtyEvictIncrements uint64
 }
 
+// Sub returns the counter-wise difference s - o. Both snapshots must
+// come from the same recorder with s taken later. TRAQPeak, a running
+// maximum rather than an accumulator, subtracts to zero across any
+// stretch in which no entry was pushed.
+func (s Stats) Sub(o Stats) Stats {
+	d := Stats{
+		Dispatched:           s.Dispatched - o.Dispatched,
+		Counted:              s.Counted - o.Counted,
+		MemCounted:           s.MemCounted - o.MemCounted,
+		ReorderedLoads:       s.ReorderedLoads - o.ReorderedLoads,
+		ReorderedStores:      s.ReorderedStores - o.ReorderedStores,
+		ReorderedAtomics:     s.ReorderedAtomics - o.ReorderedAtomics,
+		OptMoves:             s.OptMoves - o.OptMoves,
+		BaseSameInterval:     s.BaseSameInterval - o.BaseSameInterval,
+		PinnedReorders:       s.PinnedReorders - o.PinnedReorders,
+		Intervals:            s.Intervals - o.Intervals,
+		LogBufferFlushes:     s.LogBufferFlushes - o.LogBufferFlushes,
+		ConflictTerminations: s.ConflictTerminations - o.ConflictTerminations,
+		SizeTerminations:     s.SizeTerminations - o.SizeTerminations,
+		InorderBlocks:        s.InorderBlocks - o.InorderBlocks,
+		SnoopsObserved:       s.SnoopsObserved - o.SnoopsObserved,
+		TRAQOccupancySum:     s.TRAQOccupancySum - o.TRAQOccupancySum,
+		TRAQSamples:          s.TRAQSamples - o.TRAQSamples,
+		TRAQPeak:             s.TRAQPeak - o.TRAQPeak,
+		SquashedEntries:      s.SquashedEntries - o.SquashedEntries,
+		DirtyEvictIncrements: s.DirtyEvictIncrements - o.DirtyEvictIncrements,
+	}
+	for i := range d.TRAQOccupancyHist {
+		d.TRAQOccupancyHist[i] = s.TRAQOccupancyHist[i] - o.TRAQOccupancyHist[i]
+	}
+	return d
+}
+
+// AddScaled adds n copies of the per-cycle delta d to s, mirroring
+// cpu.Stats.AddScaled for the session's idle-cycle fast-forward: an
+// idle recorder still advances its occupancy statistics every tick,
+// and n skipped ticks contribute exactly n deltas. TRAQPeak has a zero
+// delta across idle ticks, so scaling leaves the maximum intact.
+func (s *Stats) AddScaled(d Stats, n uint64) {
+	s.Dispatched += d.Dispatched * n
+	s.Counted += d.Counted * n
+	s.MemCounted += d.MemCounted * n
+	s.ReorderedLoads += d.ReorderedLoads * n
+	s.ReorderedStores += d.ReorderedStores * n
+	s.ReorderedAtomics += d.ReorderedAtomics * n
+	s.OptMoves += d.OptMoves * n
+	s.BaseSameInterval += d.BaseSameInterval * n
+	s.PinnedReorders += d.PinnedReorders * n
+	s.Intervals += d.Intervals * n
+	s.LogBufferFlushes += d.LogBufferFlushes * n
+	s.ConflictTerminations += d.ConflictTerminations * n
+	s.SizeTerminations += d.SizeTerminations * n
+	s.InorderBlocks += d.InorderBlocks * n
+	s.SnoopsObserved += d.SnoopsObserved * n
+	s.TRAQOccupancySum += d.TRAQOccupancySum * n
+	s.TRAQSamples += d.TRAQSamples * n
+	s.TRAQPeak += d.TRAQPeak * int(n)
+	s.SquashedEntries += d.SquashedEntries * n
+	s.DirtyEvictIncrements += d.DirtyEvictIncrements * n
+	for i := range s.TRAQOccupancyHist {
+		s.TRAQOccupancyHist[i] += d.TRAQOccupancyHist[i] * n
+	}
+}
+
 // recTelem holds the recorder's pre-resolved telemetry handles. The
 // zero value (all nil) is the disabled state: every call is a no-op.
 type recTelem struct {
@@ -300,6 +364,10 @@ type Recorder struct {
 	traq    []*traqEntry
 	bySeq   map[uint64]*traqEntry
 	pending []uint64 // seqs of uncommitted non-memory dispatches
+	// freeEntries recycles counted/squashed TRAQ entries (and their
+	// nmiSeqs backing arrays): the per-dispatch allocation was a top
+	// contributor on the record path's heap profile.
+	freeEntries []*traqEntry
 
 	cisn       uint64
 	curBlock   uint32
@@ -361,51 +429,74 @@ func (r *Recorder) Occupancy() int { return len(r.traq) }
 // non-memory instructions accumulate toward the next entry's NMI
 // field, spilling filler entries when they exceed the field's capacity
 // (paper §4.1).
+//rrlint:hotpath
 func (r *Recorder) DispatchInstr(seq uint64, ins isa.Instr) bool {
 	if !ins.IsMem() {
 		if len(r.pending) >= r.cfg.NMICap {
-			f := &traqEntry{
-				seq:     r.pending[len(r.pending)-1],
-				kind:    kindFiller,
-				nmi:     r.cfg.NMICap,
-				nmiSeqs: append([]uint64(nil), r.pending...),
-			}
-			if !r.alloc(f) {
+			if len(r.traq) >= r.cfg.TRAQSize {
 				return false
 			}
+			r.push(r.takeEntry(r.pending[len(r.pending)-1], kindFiller, r.pending))
 			r.pending = r.pending[:0]
 		}
 		r.pending = append(r.pending, seq)
 		r.Stats.Dispatched++
 		return true
 	}
-	e := &traqEntry{seq: seq, nmi: len(r.pending), nmiSeqs: append([]uint64(nil), r.pending...)}
-	switch {
-	case ins.IsAtomic():
-		e.kind = kindAtomic
-	case ins.Op == isa.ST:
-		e.kind = kindStore
-	default:
-		e.kind = kindLoad
-	}
-	if !r.alloc(e) {
+	if len(r.traq) >= r.cfg.TRAQSize {
 		return false
 	}
+	kind := kindLoad
+	switch {
+	case ins.IsAtomic():
+		kind = kindAtomic
+	case ins.Op == isa.ST:
+		kind = kindStore
+	}
+	e := r.takeEntry(seq, kind, r.pending)
+	r.push(e)
 	r.pending = r.pending[:0]
 	r.bySeq[seq] = e
 	r.Stats.Dispatched++
 	return true
 }
 
-func (r *Recorder) alloc(e *traqEntry) bool {
-	if len(r.traq) >= r.cfg.TRAQSize {
-		return false
+// takeEntry returns a zeroed TRAQ entry for seq with the pending NMI
+// sequence numbers copied in, reusing a drained entry (and its nmiSeqs
+// backing array) when one is free.
+func (r *Recorder) takeEntry(seq uint64, kind entryKind, nmiSeqs []uint64) *traqEntry {
+	n := len(r.freeEntries)
+	if n == 0 {
+		return &traqEntry{
+			seq: seq, kind: kind, nmi: len(nmiSeqs),
+			nmiSeqs: append([]uint64(nil), nmiSeqs...),
+		}
 	}
+	e := r.freeEntries[n-1]
+	r.freeEntries[n-1] = nil
+	r.freeEntries = r.freeEntries[:n-1]
+	ns := e.nmiSeqs[:0]
+	*e = traqEntry{seq: seq, kind: kind, nmi: len(nmiSeqs)}
+	e.nmiSeqs = append(ns, nmiSeqs...)
+	return e
+}
+
+// freeEntry recycles a TRAQ entry that has left both the queue and the
+// bySeq index.
+//
+//rrlint:hotpath
+func (r *Recorder) freeEntry(e *traqEntry) {
+	r.freeEntries = append(r.freeEntries, e)
+}
+
+// push appends a TRAQ entry; callers have already checked capacity.
+//
+//rrlint:hotpath
+func (r *Recorder) push(e *traqEntry) {
 	r.traq = append(r.traq, e)
 	if len(r.traq) > r.Stats.TRAQPeak {
 		r.Stats.TRAQPeak = len(r.traq)
 	}
-	return true
 }
 
 // Perform stamps a TRAQ entry at the access's perform event: the
@@ -491,8 +582,10 @@ func (r *Recorder) Squash(fromSeq uint64) {
 		}
 		restored = append(keep, restored...)
 		delete(r.bySeq, last.seq)
+		r.traq[len(r.traq)-1] = nil
 		r.traq = r.traq[:len(r.traq)-1]
 		r.Stats.SquashedEntries++
+		r.freeEntry(last)
 	}
 	if len(restored) > 0 {
 		r.pending = append(restored, r.pending...)
@@ -500,15 +593,10 @@ func (r *Recorder) Squash(fromSeq uint64) {
 	// If the restore overflowed the NMI capacity, re-spill into filler
 	// entries (space exists: the squash just freed TRAQ slots).
 	for len(r.pending) > r.cfg.NMICap {
-		f := &traqEntry{
-			seq:     r.pending[r.cfg.NMICap-1],
-			kind:    kindFiller,
-			nmi:     r.cfg.NMICap,
-			nmiSeqs: append([]uint64(nil), r.pending[:r.cfg.NMICap]...),
-		}
-		if !r.alloc(f) {
+		if len(r.traq) >= r.cfg.TRAQSize {
 			panic("core: no TRAQ space to re-spill restored NMI instructions")
 		}
+		r.push(r.takeEntry(r.pending[r.cfg.NMICap-1], kindFiller, r.pending[:r.cfg.NMICap]))
 		r.pending = append(r.pending[:0], r.pending[r.cfg.NMICap:]...)
 	}
 }
@@ -600,7 +688,16 @@ func (r *Recorder) terminate(cycle uint64) {
 		Timestamp: r.orderer.Timestamp(cycle),
 		Entries:   r.entries,
 	})
-	r.entries = nil
+	// The next interval's entries continue in the spare capacity of the
+	// same backing array (the frozen interval's window is never written
+	// again; downstream Patch/PatchPartial copy before mutating). A
+	// nearly-full chunk starts fresh so tiny appends don't immediately
+	// reallocate.
+	rest := r.entries[len(r.entries):]
+	if cap(rest) < 16 {
+		rest = make([]replaylog.Entry, 0, 256)
+	}
+	r.entries = rest
 	r.cisn++
 	r.curCounted = 0
 	r.intervalStartCycle = cycle
@@ -648,22 +745,33 @@ func (r *Recorder) Tick(cycle uint64) {
 	r.Stats.TRAQOccupancyHist[bin]++
 	r.tel.traqOcc.Observe(r.core, uint64(len(r.traq)))
 
-	for n := 0; n < r.cfg.CountPerCycle && len(r.traq) > 0; n++ {
-		e := r.traq[0]
+	// The drained prefix is shifted out after the loop rather than
+	// re-sliced away per entry, so the queue keeps its backing array
+	// and push stops allocating.
+	pop := 0
+	for n := 0; n < r.cfg.CountPerCycle && pop < len(r.traq); n++ {
+		e := r.traq[pop]
 		if e.kind == kindFiller {
 			if !r.isRetired(e.seq) {
-				return // the filler's instructions have not retired yet
+				break // the filler's instructions have not retired yet
 			}
 			r.count(e, cycle)
-			r.traq = r.traq[1:]
+			pop++
+			r.freeEntry(e)
 			continue
 		}
 		if !e.performed || !r.isRetired(e.seq) {
-			return // counting is in order: wait for the head
+			break // counting is in order: wait for the head
 		}
 		r.count(e, cycle)
-		r.traq = r.traq[1:]
+		pop++
 		delete(r.bySeq, e.seq)
+		r.freeEntry(e)
+	}
+	if pop > 0 {
+		m := copy(r.traq, r.traq[pop:])
+		clear(r.traq[m:len(r.traq)])
+		r.traq = r.traq[:m]
 	}
 }
 

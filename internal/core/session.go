@@ -150,9 +150,46 @@ func NewSession(mcfg machine.Config, rcfg Config, w Workload) (*Session, error) 
 	}, nil
 }
 
+// step advances the machine and every recorder one cycle.
+func (s *Session) step() {
+	m := s.M
+	m.Step()
+	for _, r := range s.Recorders {
+		r.Tick(m.Cycle())
+	}
+	if s.samp.every != 0 && m.Cycle()%s.samp.every == 0 {
+		s.sample(m.Cycle())
+	}
+}
+
+// workCount extends the machine's mutation counter with recorder
+// progress: every entry drained from a TRAQ bumps Stats.Counted, so a
+// tick across which the sum is frozen also left every recorder's
+// architectural state untouched (only its per-cycle occupancy
+// statistics moved).
+func (s *Session) workCount() uint64 {
+	w := s.M.WorkCount()
+	for _, r := range s.Recorders {
+		w += r.Stats.Counted
+	}
+	return w
+}
+
 // Run records the workload to completion and returns the log.
+//
+// Like machine.Run, it skips provably idle stretches when fast-forward
+// is enabled (see machine.Config.NoFastForward): after two consecutive
+// ticks with no machine or recorder state mutation, the clock jumps to
+// the next pending wake-up while the per-cycle statistics deltas —
+// including the recorders' TRAQ occupancy tallies — are replayed for
+// every skipped cycle. Recorded logs and all statistics are
+// bit-identical to the fully ticked run.
 func (s *Session) Run() (*Result, error) {
 	m := s.M
+	ff := m.FastForwardEnabled() && s.rcfg.Faults == nil
+	prev := s.workCount()
+	var snap machine.StatsSnapshot
+	recSnap := make([]Stats, len(s.Recorders))
 	for {
 		done := m.Done()
 		if done {
@@ -169,18 +206,46 @@ func (s *Session) Run() (*Result, error) {
 		if m.Cycle() >= m.Config().MaxCycles {
 			return nil, &machine.StallError{Cycles: m.Config().MaxCycles, Cores: m.CoreSnapshots()}
 		}
-		m.Step()
-		for _, r := range s.Recorders {
-			r.Tick(m.Cycle())
-		}
-		if s.samp.every != 0 && m.Cycle()%s.samp.every == 0 {
-			s.sample(m.Cycle())
-		}
+		s.step()
 		for _, c := range m.Cores {
 			if err := c.Err(); err != nil {
 				return nil, fmt.Errorf("core: recording: core %d: %w", c.ID(), err)
 			}
 		}
+		if !ff {
+			continue
+		}
+		w := s.workCount()
+		if w != prev || m.Cycle() >= m.Config().MaxCycles {
+			prev = w
+			continue
+		}
+		// Frozen tick observed. Measure the per-cycle statistics delta
+		// over one more tick; if that one is frozen too, skip ahead.
+		m.CaptureStats(&snap)
+		for i, r := range s.Recorders {
+			recSnap[i] = r.Stats
+		}
+		s.step()
+		if w2 := s.workCount(); w2 != w {
+			prev = w2
+			continue
+		}
+		target := m.Config().MaxCycles
+		if wake, ok := m.NextWakeCycle(); ok && wake-1 < target {
+			// Resume ticking at wake-1 so the next step lands exactly
+			// on the wake cycle.
+			target = wake - 1
+		}
+		if target > m.Cycle() {
+			n := target - m.Cycle()
+			m.ReplayIdleDelta(&snap, n)
+			for i, r := range s.Recorders {
+				r.Stats.AddScaled(r.Stats.Sub(recSnap[i]), n)
+			}
+			m.SkipTo(target)
+		}
+		prev = w
 	}
 	// Close every sampled track at the exact end of the run.
 	m.SampleTelemetry()

@@ -2,7 +2,6 @@ package cpu
 
 import (
 	"fmt"
-	"sort"
 
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/isa"
@@ -30,10 +29,18 @@ type Core struct {
 
 	rob       []*uop
 	lsq       []*uop // memory ops and fences, program order
-	wb        []*wbEntry
+	wb        []wbEntry
 	readyALU  []*uop
 	executing []*uop
 	bySeq     map[uint64]*uop
+
+	// execScratch is the spare buffer completeExecuting swaps with
+	// executing each cycle, so the per-cycle rebuild allocates nothing.
+	execScratch []*uop
+	// freeUops recycles retired (never squashed) uops; see allocUop.
+	freeUops []*uop
+	// work counts state changes; see WorkCount.
+	work uint64
 
 	predictor []uint8
 
@@ -120,10 +127,13 @@ func (c *Core) HandleCompletion(ev coherence.Completion) {
 
 // markPerformed records the perform event and whether it was out of
 // program order (an older memory op still pending), for Figure 1.
+//
+//rrlint:hotpath
 func (c *Core) markPerformed(u *uop, cycle uint64) {
 	if u.performed {
 		return
 	}
+	c.work++
 	u.performed = true
 	u.performCycle = cycle
 	u.oooPerform = c.olderMemPending(u.seq)
@@ -156,7 +166,10 @@ func (c *Core) olderMemPending(seq uint64) bool {
 
 // finish completes a uop's execution: the result is available and
 // waiting consumers wake.
+//
+//rrlint:hotpath
 func (c *Core) finish(u *uop, val uint64) {
+	c.work++
 	u.val = val
 	u.state = uopDone
 	for _, w := range u.waiters {
@@ -174,7 +187,7 @@ func (c *Core) finish(u *uop, val uint64) {
 			c.pushReady(w)
 		}
 	}
-	u.waiters = nil
+	u.waiters = u.waiters[:0] // keep the backing array for reuse
 }
 
 // wantsALUQueue reports whether the uop issues through the ALU ready
@@ -187,12 +200,24 @@ func (c *Core) wantsALUQueue(u *uop) bool {
 	return true
 }
 
+//rrlint:hotpath
 func (c *Core) pushReady(u *uop) {
+	c.work++
 	u.state = uopReady
-	i := sort.Search(len(c.readyALU), func(i int) bool { return c.readyALU[i].seq > u.seq })
+	// Open-coded binary search: sort.Search's closure would allocate
+	// its environment on this per-wakeup path.
+	lo, hi := 0, len(c.readyALU)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.readyALU[mid].seq > u.seq {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
 	c.readyALU = append(c.readyALU, nil)
-	copy(c.readyALU[i+1:], c.readyALU[i:])
-	c.readyALU[i] = u
+	copy(c.readyALU[lo+1:], c.readyALU[lo:])
+	c.readyALU[lo] = u
 }
 
 // Tick advances the core one cycle. The machine must deliver this
@@ -215,10 +240,14 @@ func (c *Core) Tick(cycle uint64) {
 
 // completeExecuting finishes ALU-class uops whose latency elapsed.
 // Executing a branch may squash (which rewrites c.executing), so the
-// walk runs over a detached snapshot.
+// walk runs over a detached snapshot. The snapshot and the rebuilt
+// queue ping-pong between two persistent buffers, so the per-cycle
+// rebuild never allocates.
+//
+//rrlint:hotpath
 func (c *Core) completeExecuting() {
 	snapshot := c.executing
-	c.executing = nil
+	c.executing = c.execScratch[:0]
 	for _, u := range snapshot {
 		if u.squashed {
 			continue
@@ -229,6 +258,7 @@ func (c *Core) completeExecuting() {
 		}
 		c.execute(u)
 	}
+	c.execScratch = snapshot[:0]
 }
 
 // execute applies the architectural semantics of an ALU-class uop.
@@ -268,6 +298,7 @@ func (c *Core) mispredict(u *uop, taken bool) {
 
 // squashAfter removes every uop with seq > after from the pipeline.
 func (c *Core) squashAfter(after uint64) {
+	c.work++
 	cut := len(c.rob)
 	for cut > 0 && c.rob[cut-1].seq > after {
 		u := c.rob[cut-1]
@@ -341,7 +372,7 @@ func (c *Core) retire() {
 				c.tel.stallWB.Inc(c.id)
 				return
 			}
-			c.wb = append(c.wb, &wbEntry{u: u})
+			c.wb = append(c.wb, wbEntry{u: u})
 			// Stays in bySeq until the write buffer drains it.
 		case u.ins.IsMem(): // loads, atomics
 			if u.state != uopDone || !u.performed {
@@ -352,6 +383,7 @@ func (c *Core) retire() {
 				return
 			}
 		case u.ins.Op == isa.HALT:
+			c.work++
 			c.halted = true
 			c.Stats.Retired++
 			c.tel.retired.Inc(c.id)
@@ -364,6 +396,7 @@ func (c *Core) retire() {
 			if c.hooks.Halted != nil {
 				c.hooks.Halted(c.nonMemSinceMemRetire)
 			}
+			c.freeUop(u)
 			return
 		default:
 			if u.state != uopDone {
@@ -371,6 +404,7 @@ func (c *Core) retire() {
 			}
 		}
 
+		c.work++
 		if u.ins.WritesReg() {
 			c.archRegs[u.ins.Rd] = u.val
 		}
@@ -410,6 +444,11 @@ func (c *Core) retire() {
 			if u.ins.IsBranch() {
 				c.Stats.BranchesRetired++
 			}
+		}
+		if u.ins.Op != isa.ST {
+			// Fully committed and unlinked from every queue: recycle.
+			// Stores recycle later, when the write buffer drains them.
+			c.freeUop(u)
 		}
 	}
 }
@@ -456,11 +495,13 @@ func (c *Core) issueHeadOps(budget *int) {
 			Apply: func(old uint64) (uint64, bool) { return isa.AmoApply(ins, old, rs2, rd) },
 		})
 		if ok {
+			c.work++
 			u.state = uopIssued
 			c.tel.issuedMem.Inc(c.id)
 			*budget--
 		}
 	case u.ins.Op == isa.IN && u.state == uopWaiting:
+		c.work++
 		if c.inPos >= len(c.inputs) {
 			c.err = isa.ErrOutOfInput
 			return
@@ -498,6 +539,7 @@ func (c *Core) issueLoads(budget *int) {
 			// Opportunistic address generation so younger loads can
 			// disambiguate without waiting for the store data.
 			if !u.addrKnown && u.srcOwner[0] == nil {
+				c.work++
 				u.addr = isa.EffAddr(ins, u.srcVal[0])
 				u.addrKnown = true
 			}
@@ -528,6 +570,7 @@ func (c *Core) tryIssueLoad(u *uop, storeAddrUnknown bool, budget *int) {
 		return // address operand not ready
 	}
 	if !u.addrKnown {
+		c.work++
 		u.addr = isa.EffAddr(u.ins, u.srcVal[0])
 		u.addrKnown = true
 	}
@@ -562,6 +605,7 @@ func (c *Core) tryIssueLoad(u *uop, storeAddrUnknown bool, budget *int) {
 		*budget = 0 // MSHRs full; retry next cycle
 		return
 	}
+	c.work++
 	u.state = uopIssued
 	c.tel.issuedMem.Inc(c.id)
 	*budget--
@@ -631,14 +675,17 @@ func (c *Core) drainWB(budget *int) {
 	kept := c.wb[:0]
 	for _, e := range c.wb {
 		if e.u.performed {
+			c.work++
 			delete(c.bySeq, e.u.seq)
+			c.freeUop(e.u)
 			continue
 		}
 		kept = append(kept, e)
 	}
 	c.wb = kept
 
-	for i, e := range c.wb {
+	for i := range c.wb {
+		e := &c.wb[i]
 		if *budget == 0 {
 			return
 		}
@@ -677,18 +724,24 @@ func (c *Core) drainWB(budget *int) {
 		}) {
 			return
 		}
+		c.work++
 		e.issued = true
 		c.tel.issuedMem.Inc(c.id)
 		*budget--
 	}
 }
 
-// issueALU starts execution of ready ALU-class uops.
+// issueALU starts execution of ready ALU-class uops. The consumed
+// prefix is shifted out rather than re-sliced away, so the queue keeps
+// its backing array and pushReady's insertion stops allocating.
+//
+//rrlint:hotpath
 func (c *Core) issueALU() {
-	n := 0
-	for len(c.readyALU) > 0 && n < c.cfg.IssueWidth {
-		u := c.readyALU[0]
-		c.readyALU = c.readyALU[1:]
+	n, pop := 0, 0
+	for pop < len(c.readyALU) && n < c.cfg.IssueWidth {
+		u := c.readyALU[pop]
+		pop++
+		c.work++
 		if u.squashed {
 			continue
 		}
@@ -701,6 +754,11 @@ func (c *Core) issueALU() {
 		c.executing = append(c.executing, u)
 		c.tel.issuedALU.Inc(c.id)
 		n++
+	}
+	if pop > 0 {
+		m := copy(c.readyALU, c.readyALU[pop:])
+		clear(c.readyALU[m:len(c.readyALU)])
+		c.readyALU = c.readyALU[:m]
 	}
 }
 
@@ -732,7 +790,8 @@ func (c *Core) dispatch() {
 			return
 		}
 		c.nextSeq++
-		u := &uop{seq: seq, pc: c.pc, ins: ins}
+		c.work++
+		u := c.allocUop(seq, c.pc, ins)
 		c.captureSources(u)
 		if ins.WritesReg() {
 			c.regOwner[ins.Rd] = u
@@ -783,35 +842,105 @@ func (c *Core) dispatch() {
 }
 
 // captureSources resolves or subscribes to the uop's register sources.
+// The per-operand work lives in captureSource, a method rather than a
+// closure: the closure environment was the record path's second-largest
+// heap contributor.
+//
+//rrlint:hotpath
 func (c *Core) captureSources(u *uop) {
-	add := func(idx int, r isa.Reg) {
-		owner := c.regOwner[r]
-		switch {
-		case r == 0 || owner == nil:
-			u.srcVal[idx] = c.archRegs[r]
-		case owner.state == uopDone:
-			u.srcVal[idx] = owner.val
-		default:
-			u.srcOwner[idx] = owner
-			owner.waiters = append(owner.waiters, u)
-			u.pendingSrc++
-		}
-	}
 	if u.ins.ReadsRs1() {
-		add(0, u.ins.Rs1)
+		c.captureSource(u, 0, u.ins.Rs1)
 	}
 	if u.ins.ReadsRs2() {
-		add(1, u.ins.Rs2)
+		c.captureSource(u, 1, u.ins.Rs2)
 	}
 	if u.ins.ReadsRd() {
-		add(2, u.ins.Rd)
+		c.captureSource(u, 2, u.ins.Rd)
 	}
+}
+
+//rrlint:hotpath
+func (c *Core) captureSource(u *uop, idx int, r isa.Reg) {
+	owner := c.regOwner[r]
+	switch {
+	case r == 0 || owner == nil:
+		u.srcVal[idx] = c.archRegs[r]
+	case owner.state == uopDone:
+		u.srcVal[idx] = owner.val
+	default:
+		u.srcOwner[idx] = owner
+		owner.waiters = append(owner.waiters, u)
+		u.pendingSrc++
+	}
+}
+
+// allocUop returns a fresh uop, reusing a retired one when possible:
+// the per-instruction heap allocation was the record path's largest
+// contributor. The recycled uop's waiter slice keeps its backing array.
+func (c *Core) allocUop(seq uint64, pc int, ins isa.Instr) *uop {
+	n := len(c.freeUops)
+	if n == 0 {
+		return &uop{seq: seq, pc: pc, ins: ins}
+	}
+	u := c.freeUops[n-1]
+	c.freeUops[n-1] = nil
+	c.freeUops = c.freeUops[:n-1]
+	w := u.waiters
+	*u = uop{seq: seq, pc: pc, ins: ins}
+	u.waiters = w[:0]
+	return u
+}
+
+// freeUop recycles a committed uop. Callers guarantee no live
+// reference remains: not in any queue, not in bySeq, not a register
+// owner, waiter list already drained by finish. Squashed uops are
+// never recycled — wrong-path uops can linger in the waiter lists of
+// their still-executing source owners.
+//
+//rrlint:hotpath
+func (c *Core) freeUop(u *uop) {
+	if u.squashed {
+		return
+	}
+	c.freeUops = append(c.freeUops, u)
 }
 
 // Occupancy returns the current ROB, LSQ and write-buffer occupancy,
 // for the machine's cycle-sampled telemetry tracks.
 func (c *Core) Occupancy() (rob, lsq, wb int) {
 	return len(c.rob), len(c.lsq), len(c.wb)
+}
+
+// WorkCount returns a monotonically increasing count of pipeline state
+// changes (dispatches, wakeups, issues, completions, retires, squash
+// and write-buffer activity). Two equal readings bracketing a Tick
+// prove the tick changed nothing but per-cycle statistics — the
+// machine's idle-cycle fast-forward builds on exactly that guarantee,
+// so every Core mutation site must bump the counter.
+func (c *Core) WorkCount() uint64 { return c.work }
+
+// NextWake returns the earliest future cycle at which this core can
+// make progress with no external stimulus: the earliest in-flight
+// completion, or the end of a mispredict fetch stall. ok is false when
+// no time-based wakeup exists (the core is quiesced, faulted, or
+// waiting solely on the memory system). Only meaningful right after a
+// zero-work tick; extra early wakeups are harmless, missed ones are
+// not.
+func (c *Core) NextWake() (cycle uint64, ok bool) {
+	if c.err != nil || c.Quiesced() {
+		return 0, false
+	}
+	for _, u := range c.executing {
+		if !ok || u.doneAt < cycle {
+			cycle, ok = u.doneAt, true
+		}
+	}
+	if !c.halted && c.haltSeq < 0 && c.fetchStallUntil > c.cycle {
+		if !ok || c.fetchStallUntil < cycle {
+			cycle, ok = c.fetchStallUntil, true
+		}
+	}
+	return cycle, ok
 }
 
 // String summarizes the core state for debugging.

@@ -331,11 +331,11 @@ func (s *Suite) Figure13() ([]Fig13Row, *stats.Table, error) {
 		"app", "Opt 4K", "(OS%)", "Base 4K", "(OS%)", "Opt INF", "(OS%)", "Base INF", "(OS%)")
 	var rows []Fig13Row
 	type agg struct{ tot, os []float64 }
-	aggs := map[string]*agg{}
-	cfgs := []struct {
-		v core.Variant
-		m IntervalMode
-	}{{core.Opt, I4K}, {core.Base, I4K}, {core.Opt, INF}, {core.Base, INF}}
+	// Keyed by the (variant, mode) pair itself: a comparable struct key
+	// cannot collide the way a formatted string key could, and the hot
+	// aggregation loop stops formatting strings entirely.
+	aggs := map[vmCfg]*agg{}
+	cfgs := []vmCfg{{core.Opt, I4K}, {core.Base, I4K}, {core.Opt, INF}, {core.Base, INF}}
 	for _, app := range s.Apps() {
 		cells := []string{app}
 		for _, cfg := range cfgs {
@@ -355,12 +355,11 @@ func (s *Suite) Figure13() ([]Fig13Row, *stats.Table, error) {
 				NormOS:    float64(rep.Timing.OSCycles) / rec,
 			}
 			rows = append(rows, row)
-			key := fmt.Sprintf("%v/%v", cfg.v, cfg.m)
-			if aggs[key] == nil {
-				aggs[key] = &agg{}
+			if aggs[cfg] == nil {
+				aggs[cfg] = &agg{}
 			}
-			aggs[key].tot = append(aggs[key].tot, row.NormTotal)
-			aggs[key].os = append(aggs[key].os, stats.Ratio(row.NormOS, row.NormTotal))
+			aggs[cfg].tot = append(aggs[cfg].tot, row.NormTotal)
+			aggs[cfg].os = append(aggs[cfg].os, stats.Ratio(row.NormOS, row.NormTotal))
 			cells = append(cells, stats.F(row.NormTotal, 1)+"x",
 				stats.Pct(stats.Ratio(row.NormOS, row.NormTotal), 0))
 		}
@@ -368,7 +367,7 @@ func (s *Suite) Figure13() ([]Fig13Row, *stats.Table, error) {
 	}
 	cells := []string{"average"}
 	for _, cfg := range cfgs {
-		a := aggs[fmt.Sprintf("%v/%v", cfg.v, cfg.m)]
+		a := aggs[cfg]
 		cells = append(cells, stats.F(stats.Mean(a.tot), 1)+"x", stats.Pct(stats.Mean(a.os), 0))
 	}
 	t.AddRow(cells...)
@@ -402,10 +401,7 @@ func (s *Suite) Figure14(coreCounts []int) ([]Fig14Row, *stats.Table, error) {
 	}
 	t := stats.NewTable("Figure 14: scalability with core count (averages across apps)",
 		"config", "P4 reord", "P8 reord", "P16 reord", "P4 MB/s", "P8 MB/s", "P16 MB/s")
-	cfgs := []struct {
-		v core.Variant
-		m IntervalMode
-	}{{core.Base, I4K}, {core.Opt, I4K}, {core.Base, INF}, {core.Opt, INF}}
+	cfgs := []vmCfg{{core.Base, I4K}, {core.Opt, I4K}, {core.Base, INF}, {core.Opt, INF}}
 	var rows []Fig14Row
 	for _, cfg := range cfgs {
 		var reord, rate []string

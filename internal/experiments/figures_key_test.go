@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+
+	"relaxreplay/internal/core"
+)
+
+// Regression for the Figure 13/14 aggregation key. It used to be
+// fmt.Sprintf("%v/%v", variant, mode), which silently merges any two
+// configurations whose rendered names happen to collide (and pays a
+// string format per aggregated sample). The key is now the vmCfg value
+// pair itself: two distinct configurations can never compare equal, so
+// their aggregates can never merge.
+func TestAggregationKeysNeverMerge(t *testing.T) {
+	seen := map[vmCfg]int{}
+	for i, c := range allCfgs {
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("configs %d and %d map to the same aggregation key %+v", prev, i, c)
+		}
+		seen[c] = i
+	}
+	if len(seen) != len(allCfgs) {
+		t.Fatalf("%d configs produced %d distinct keys", len(allCfgs), len(seen))
+	}
+
+	// Pairs differing in exactly one field stay distinct.
+	base4k := vmCfg{core.Base, I4K}
+	if base4k == (vmCfg{core.Base, INF}) {
+		t.Fatal("keys differing only in interval mode compare equal")
+	}
+	if base4k == (vmCfg{core.Opt, I4K}) {
+		t.Fatal("keys differing only in variant compare equal")
+	}
+}

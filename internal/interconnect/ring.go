@@ -42,6 +42,14 @@ type Ring struct {
 	slots   []*Message // slot i is currently at node i's station
 	pending [][]Message
 
+	// Steady-state scratch: the advance buffer swaps roles with slots
+	// each Tick, deliveries are rebuilt in place, and message boxes that
+	// leave the ring are recycled for later injections, so a busy ring
+	// allocates nothing per cycle.
+	scratch []*Message
+	out     []Delivery
+	free    []*Message
+
 	// Faults, when non-nil, perturbs injection: ic.delay holds a
 	// pending message at its station for a cycle, ic.drop discards one
 	// outright (the protocol-level consequence — typically a stalled
@@ -65,6 +73,7 @@ func New(n int) *Ring {
 	return &Ring{
 		n:       n,
 		slots:   make([]*Message, n),
+		scratch: make([]*Message, n),
 		pending: make([][]Message, n),
 	}
 }
@@ -122,11 +131,17 @@ func (r *Ring) Busy() bool {
 // Tick advances the ring one cycle and returns the deliveries that
 // occurred, in deterministic order. A message injected on cycle T
 // first arrives somewhere on cycle T+1 (one hop away at the earliest).
+// The returned slice is valid only until the next call to Tick; copy
+// the Delivery values out to hold them longer.
+//
+//rrlint:hotpath
 func (r *Ring) Tick() []Delivery {
-	var out []Delivery
+	out := r.out[:0]
 
-	// Advance: slot at position i moves to position (i+1) mod n.
-	next := make([]*Message, r.n)
+	// Advance: slot at position i moves to position (i+1) mod n. The
+	// scratch buffer trades places with slots each cycle.
+	next := r.scratch
+	clear(next)
 	for i := r.n - 1; i >= 0; i-- {
 		m := r.slots[i]
 		if m == nil {
@@ -137,6 +152,7 @@ func (r *Ring) Tick() []Delivery {
 		next[p] = m
 		r.Hops++
 	}
+	r.scratch = r.slots
 	r.slots = next
 
 	// Deliver.
@@ -148,15 +164,17 @@ func (r *Ring) Tick() []Delivery {
 		switch {
 		case m.Visit && p == m.Src:
 			// Returned home: leaves the ring.
-			out = append(out, Delivery{Node: p, Msg: *m, Final: true})
+			out = append(out, Delivery{Node: p, Msg: *m, Final: true}) //rrlint:allow hotpath-alloc (amortized append into reused buffer)
 			r.slots[p] = nil
+			r.freeMsg(m)
 			r.Delivered++
 		case m.Visit:
 			// Passing snoop: observed but stays on the ring.
-			out = append(out, Delivery{Node: p, Msg: *m, Final: false})
+			out = append(out, Delivery{Node: p, Msg: *m, Final: false}) //rrlint:allow hotpath-alloc (amortized append into reused buffer)
 		case p == m.Dst:
-			out = append(out, Delivery{Node: p, Msg: *m, Final: true})
+			out = append(out, Delivery{Node: p, Msg: *m, Final: true}) //rrlint:allow hotpath-alloc (amortized append into reused buffer)
 			r.slots[p] = nil
+			r.freeMsg(m)
 			r.Delivered++
 		}
 	}
@@ -176,12 +194,37 @@ func (r *Ring) Tick() []Delivery {
 			r.Dropped++
 			continue // message vanishes between station and slot
 		}
-		m.pos = p
-		if m.Visit && m.Dst != m.Src {
-			m.Dst = m.Src
+		box := r.takeMsg()
+		*box = m
+		box.pos = p
+		if box.Visit && box.Dst != box.Src {
+			box.Dst = box.Src
 		}
-		r.slots[p] = &m
+		r.slots[p] = box
 		r.Injected++
 	}
+	r.out = out
 	return out
+}
+
+// takeMsg returns a message box from the freelist, or a new one.
+//
+//rrlint:hotpath
+func (r *Ring) takeMsg() *Message {
+	if n := len(r.free); n > 0 {
+		m := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		return m
+	}
+	return new(Message) //rrlint:allow hotpath-alloc (freelist miss)
+}
+
+// freeMsg recycles a message box that left the ring. The Delivery the
+// caller sees holds a value copy, so dropping the box here is safe.
+//
+//rrlint:hotpath
+func (r *Ring) freeMsg(m *Message) {
+	m.Payload = nil // release the protocol payload promptly
+	r.free = append(r.free, m)
 }

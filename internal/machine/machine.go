@@ -45,6 +45,13 @@ type Config struct {
 	// classifiable failure is the intended behaviour under fault
 	// injection. Nil keeps the machine fully deterministic.
 	Faults *faultinject.Injector
+
+	// NoFastForward disables the idle-cycle fast-forward (see Run).
+	// Fast-forward never changes observable behaviour — cycle counts,
+	// statistics and recorded logs are identical either way, which the
+	// determinism regression tests prove by flipping this switch — so
+	// the flag exists for those tests and for debugging.
+	NoFastForward bool
 }
 
 // DefaultConfig returns the paper's Table 1 machine with the given
@@ -69,6 +76,8 @@ type Machine struct {
 	// event after the owning core has processed it. The memory race
 	// recorder uses it to stamp PISNs at the true perform time.
 	PerformSink func(ev coherence.PerformEvent)
+
+	ffSkipped uint64 // cycles skipped by fast-forward (see SkipTo)
 
 	samp sampler
 }
@@ -192,6 +201,92 @@ func (m *Machine) SampleTelemetry() {
 	tr.Counter(telemetry.PidRecord, 0, "interconnect", "ring.hops", cyc, m.Sys.RingHops())
 }
 
+// WorkCount sums the state-mutation counters of every core and the
+// memory system. A tick across which it does not move touched no
+// architectural state: only the clock and per-cycle statistics (stall
+// tallies, occupancy sums) advanced.
+func (m *Machine) WorkCount() uint64 {
+	w := m.Sys.WorkCount()
+	for _, c := range m.Cores {
+		w += c.WorkCount()
+	}
+	return w
+}
+
+// FastForwardEnabled reports whether Run (and the recording session)
+// may skip provably idle cycles. Telemetry and fault injection both
+// observe individual cycles, so either disables the optimization, as
+// does the explicit Config.NoFastForward switch.
+func (m *Machine) FastForwardEnabled() bool {
+	return m.cfg.Telemetry == nil && m.cfg.Faults == nil && !m.cfg.NoFastForward
+}
+
+// NextWakeCycle returns the earliest future cycle at which a frozen
+// machine can make progress: the soonest in-flight execution result or
+// fetch-stall expiry on any core, or the soonest scheduled memory
+// event. ok is false when nothing is pending anywhere — the machine is
+// deadlocked and only MaxCycles will end the run.
+func (m *Machine) NextWakeCycle() (wake uint64, ok bool) {
+	for _, c := range m.Cores {
+		if t, o := c.NextWake(); o && (!ok || t < wake) {
+			wake, ok = t, true
+		}
+	}
+	if t, o := m.Sys.NextEventCycle(); o && (!ok || t < wake) {
+		wake, ok = t, true
+	}
+	return wake, ok
+}
+
+// StatsSnapshot captures every per-core and memory-system counter, so
+// a fast-forward can replay the per-cycle statistics delta of skipped
+// idle cycles exactly.
+type StatsSnapshot struct {
+	Cores []cpu.Stats
+	Sys   coherence.Stats
+}
+
+// CaptureStats records the current counters into s, reusing its
+// backing storage.
+func (m *Machine) CaptureStats(s *StatsSnapshot) {
+	if cap(s.Cores) < len(m.Cores) {
+		s.Cores = make([]cpu.Stats, len(m.Cores))
+	}
+	s.Cores = s.Cores[:len(m.Cores)]
+	for i, c := range m.Cores {
+		s.Cores[i] = c.Stats
+	}
+	s.Sys = m.Sys.Stats
+}
+
+// ReplayIdleDelta adds n copies of (current counters - s) to the live
+// statistics. During a provably idle stretch every counter moves by
+// the same amount each cycle, so the one-cycle delta times the skipped
+// cycle count reproduces exactly what ticking would have accumulated.
+func (m *Machine) ReplayIdleDelta(s *StatsSnapshot, n uint64) {
+	for i, c := range m.Cores {
+		c.Stats.AddScaled(c.Stats.Sub(s.Cores[i]), n)
+	}
+	m.Sys.Stats.AddScaled(m.Sys.Stats.Sub(s.Sys), n)
+}
+
+// SkipTo advances the global clock (and the memory system's) to cycle
+// without simulating the intervening ticks. The caller must have
+// proven the machine idle through cycle and replayed the statistics
+// delta first.
+func (m *Machine) SkipTo(cycle uint64) {
+	if cycle > m.cycle {
+		m.ffSkipped += cycle - m.cycle
+		m.cycle = cycle
+		m.Sys.SkipTo(cycle)
+	}
+}
+
+// FastForwardedCycles returns the total number of cycles skipped by
+// fast-forward, for tests that need to prove the optimization actually
+// engaged.
+func (m *Machine) FastForwardedCycles() uint64 { return m.ffSkipped }
+
 // Done reports whether every core has halted and drained and the
 // memory system is idle.
 func (m *Machine) Done() bool {
@@ -220,7 +315,20 @@ func (e *StallError) Error() string {
 // input exhaustion) or with *StallError when MaxCycles elapse without
 // completion, which almost always indicates a deadlocked workload
 // (e.g. a spinlock never released).
+//
+// When FastForwardEnabled, Run skips provably idle stretches: after
+// two consecutive ticks in which no core and no memory-system
+// component mutated state (WorkCount frozen), nothing can change
+// before the earliest pending wake-up (NextWakeCycle), so the clock
+// jumps there directly while the per-cycle statistics delta — measured
+// over the second frozen tick — is replayed for every skipped cycle.
+// The result is bit-identical to ticking: same cycle counts, same
+// statistics, same recorded logs, just without simulating cycles in
+// which nothing happens.
 func (m *Machine) Run() error {
+	ff := m.FastForwardEnabled()
+	prev := m.WorkCount()
+	var snap StatsSnapshot
 	for !m.Done() {
 		if m.cycle >= m.cfg.MaxCycles {
 			m.SampleTelemetry()
@@ -232,6 +340,33 @@ func (m *Machine) Run() error {
 				return fmt.Errorf("machine: core %d: %w", c.ID(), err)
 			}
 		}
+		if !ff {
+			continue
+		}
+		w := m.WorkCount()
+		if w != prev || m.cycle >= m.cfg.MaxCycles {
+			prev = w
+			continue
+		}
+		// Frozen tick observed. Measure the per-cycle statistics delta
+		// over one more tick; if that one is frozen too, skip ahead.
+		m.CaptureStats(&snap)
+		m.Step()
+		if w2 := m.WorkCount(); w2 != w {
+			prev = w2
+			continue
+		}
+		target := m.cfg.MaxCycles
+		if wake, ok := m.NextWakeCycle(); ok && wake-1 < target {
+			// Resume ticking at wake-1 so the next Step lands exactly
+			// on the wake cycle.
+			target = wake - 1
+		}
+		if target > m.cycle {
+			m.ReplayIdleDelta(&snap, target-m.cycle)
+			m.SkipTo(target)
+		}
+		prev = w
 	}
 	m.SampleTelemetry()
 	return nil

@@ -60,26 +60,39 @@ func (p *payload) entry(e Entry) error {
 	return nil
 }
 
-// frameWriter emits checksummed v2 frames.
+// frameWriter emits checksummed v2 frames. count is the running frame
+// total that the end frame publishes so decodeV2 can detect whole
+// frames vanishing without a trace. The header/trailer scratch arrays
+// live in the struct: stack-local arrays would escape through the
+// io.Writer call inside bufio.Writer and turn every frame into two
+// heap allocations (this is the encoder's per-interval path).
 type frameWriter struct {
 	w     *bufio.Writer
 	count uint32
 	err   error
+	hdr   [9]byte
+	tail  [4]byte
 }
 
+// frame writes one checksummed frame, refusing payloads the u32 length
+// field (clamped far tighter by MaxFrameLen) could not represent.
+//
+//rrlint:hotpath
 func (fw *frameWriter) frame(t FrameType, body []byte) {
 	if fw.err != nil {
 		return
 	}
-	var hdr [9]byte
-	copy(hdr[:4], frameSync[:])
-	hdr[4] = uint8(t)
-	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(body)))
-	crc := crc32.Update(0, castagnoli, hdr[4:])
+	if len(body) > MaxFrameLen {
+		fw.err = fmt.Errorf("%w: %v frame payload is %d bytes (limit %d)", ErrOversizeFrame, t, len(body), MaxFrameLen) //rrlint:allow hotpath-alloc (terminal error path)
+		return
+	}
+	copy(fw.hdr[:4], frameSync[:])
+	fw.hdr[4] = uint8(t)
+	binary.LittleEndian.PutUint32(fw.hdr[5:], uint32(len(body)))
+	crc := crc32.Update(0, castagnoli, fw.hdr[4:])
 	crc = crc32.Update(crc, castagnoli, body)
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc)
-	if _, err := fw.w.Write(hdr[:]); err != nil {
+	binary.LittleEndian.PutUint32(fw.tail[:], crc)
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
 		fw.err = err
 		return
 	}
@@ -87,7 +100,7 @@ func (fw *frameWriter) frame(t FrameType, body []byte) {
 		fw.err = err
 		return
 	}
-	if _, err := fw.w.Write(tail[:]); err != nil {
+	if _, err := fw.w.Write(fw.tail[:]); err != nil {
 		fw.err = err
 		return
 	}
@@ -102,6 +115,9 @@ func Encode(w io.Writer, l *Log) error { return EncodeWith(w, l, nil) }
 // frame twice (the duplicated-frame fault the robust decoder must
 // absorb). A nil injector encodes byte-identically to Encode.
 func EncodeWith(w io.Writer, l *Log, inj *faultinject.Injector) error {
+	if err := checkEncodeCounts(l); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
@@ -177,6 +193,48 @@ func EncodeWith(w io.Writer, l *Log, inj *faultinject.Injector) error {
 		return fw.err
 	}
 	return bw.Flush()
+}
+
+// checkEncodeCounts rejects, before a single byte is written, every
+// count the fixed-width wire fields (and the decoder's clamps, which
+// are far tighter) could not round-trip. Without these guards an
+// oversize value — e.g. a variant string longer than the u16 length
+// field — would be silently truncated into a corrupt-but-checksummed
+// frame that decodes to the wrong log.
+func checkEncodeCounts(l *Log) error {
+	if l.Cores < 0 || l.Cores > MaxCores {
+		return fmt.Errorf("%w: core count %d (limit %d)", ErrOversizeFrame, l.Cores, MaxCores)
+	}
+	if len(l.Inputs) > MaxCores {
+		return fmt.Errorf("%w: %d input streams (limit %d)", ErrOversizeFrame, len(l.Inputs), MaxCores)
+	}
+	if len(l.Variant) > MaxVariantLen {
+		return fmt.Errorf("%w: variant string is %d bytes (limit %d)", ErrOversizeFrame, len(l.Variant), MaxVariantLen)
+	}
+	for c, in := range l.Inputs {
+		if len(in) > MaxInputLen {
+			return fmt.Errorf("%w: core %d input stream has %d entries (limit %d)", ErrOversizeFrame, c, len(in), MaxInputLen)
+		}
+	}
+	for si := range l.Streams {
+		s := &l.Streams[si]
+		if s.Core < 0 || s.Core >= MaxCores {
+			return fmt.Errorf("%w: stream core %d (limit %d)", ErrOversizeFrame, s.Core, MaxCores)
+		}
+		if len(s.Intervals) > MaxIntervalsPerCore {
+			return fmt.Errorf("%w: core %d has %d intervals (limit %d)", ErrOversizeFrame, s.Core, len(s.Intervals), MaxIntervalsPerCore)
+		}
+		for i := range s.Intervals {
+			iv := &s.Intervals[i]
+			if len(iv.Entries) > MaxEntriesPerInterval {
+				return fmt.Errorf("%w: core %d interval %d has %d entries (limit %d)", ErrOversizeFrame, s.Core, iv.Seq, len(iv.Entries), MaxEntriesPerInterval)
+			}
+			if len(iv.Preds) > MaxPredsPerInterval {
+				return fmt.Errorf("%w: core %d interval %d has %d preds (limit %d)", ErrOversizeFrame, s.Core, iv.Seq, len(iv.Preds), MaxPredsPerInterval)
+			}
+		}
+	}
+	return nil
 }
 
 // EncodeV1 writes the pre-framing format, kept so tests can exercise

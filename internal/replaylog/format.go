@@ -94,6 +94,12 @@ var (
 	ErrCorruptFrame = errors.New("replaylog: corrupt frame")
 	// ErrTruncated reports that the stream ended before the log did.
 	ErrTruncated = errors.New("replaylog: log truncated")
+	// ErrOversizeFrame reports that an encoder input exceeds one of the
+	// format clamps above (frame payload, count field, or variant
+	// string). The fixed-width wire fields would silently truncate such
+	// a value into a corrupt-but-checksummed frame, so the encoder
+	// refuses to write it instead.
+	ErrOversizeFrame = errors.New("replaylog: oversize frame")
 )
 
 // FrameError describes one dropped frame.
