@@ -2,26 +2,31 @@
 //
 // Usage:
 //
-//	rrlog -log fft.rrlog [-dump] [-core 3] [-patch]
-//	      [-verify] [-repair fixed.rrlog] [-faults spec@seed]
-//	      [-metrics report.txt] [-trace trace.json]
+//	rrlog -log fft.rrlog [-dump] [-core 3] [-patch] [-stats]
+//	      [-seek core:seq] [-verify] [-repair fixed.rrlog] [-v3]
+//	      [-faults spec@seed] [-metrics report.txt] [-trace trace.json]
 //
 // Without -dump it prints summary statistics (per-core interval and
 // entry counts, size accounting, reorder histogram). With -dump it
-// prints every interval record in a readable form. -metrics writes the
-// log's entry-type accounting as a metrics report; -trace exports the
-// recorded interval timeline (reconstructed from the logged interval
-// timestamps) as Chrome trace_event JSON for chrome://tracing or
-// Perfetto.
+// prints every interval record in a readable form. -stats adds storage
+// accounting: the on-disk size next to the log re-encoded in the v2
+// and compressed v3 formats, with the v3/v2 compression ratio. -seek
+// core:seq fetches a single interval through the v3 segment index
+// without scanning the file (falling back to a linear scan for v1/v2
+// files or a damaged index). -metrics writes the log's entry-type
+// accounting as a metrics report; -trace exports the recorded interval
+// timeline (reconstructed from the logged interval timestamps) as
+// Chrome trace_event JSON for chrome://tracing or Perfetto.
 //
-// Every mode reads through the resyncing robust decoder, so a damaged
-// log is inspected rather than rejected — but damage is never silent:
-// rrlog prints a structured corruption summary on stderr and exits
-// non-zero whenever the log is not intact. -verify does only the
-// integrity check (exit 0 iff clean); -repair additionally writes the
-// surviving frames back out as a clean, fully-checksummed log.
-// -faults injects read-side faults (e.g. log.shortread@1) to exercise
-// these paths.
+// Every mode reads through the resyncing robust decoder (v3 per-core
+// streams decode in parallel), so a damaged log is inspected rather
+// than rejected — but damage is never silent: rrlog prints a
+// structured corruption summary on stderr and exits non-zero whenever
+// the log is not intact. -verify does only the integrity check (exit 0
+// iff clean); -repair additionally writes the surviving frames back
+// out as a clean, fully-checksummed log — in the v2 framing, or the
+// compressed v3 format with -v3. -faults injects read-side faults
+// (e.g. log.shortread@1) to exercise these paths.
 package main
 
 import (
@@ -42,6 +47,9 @@ func main() {
 	patch := flag.Bool("patch", false, "apply the patching pass before inspecting")
 	verify := flag.Bool("verify", false, "integrity-check only: report corruption, exit 0 iff the log is intact")
 	repair := flag.String("repair", "", "write the surviving frames to this file as a clean log")
+	repairV3 := flag.Bool("v3", false, "with -repair: write the repaired log in the compressed v3 format")
+	statsFlag := flag.Bool("stats", false, "print storage statistics: encoded v2/v3 sizes and compression ratio")
+	seek := flag.String("seek", "", "core:seq — fetch one interval through the v3 segment index, no full scan")
 	faults := flag.String("faults", "", "inject read-side faults: point[,point...]@seed")
 	var tf telemetry.Flags
 	tf.Register(nil)
@@ -63,7 +71,29 @@ func main() {
 	if st, err := f.Stat(); err == nil {
 		size = st.Size()
 	}
-	log, rep, err := relaxreplay.ReadLogRobust(inj.WrapReader(f, size))
+
+	if *seek != "" {
+		var core int
+		var seq uint64
+		if _, err := fmt.Sscanf(*seek, "%d:%d", &core, &seq); err != nil {
+			fatal(fmt.Errorf("bad -seek %q (want core:seq): %v", *seek, err))
+		}
+		ix, err := replaylog.OpenIndexed(f, size)
+		if err != nil {
+			fatal(err)
+		}
+		if !ix.Indexed() {
+			fmt.Fprintf(os.Stderr, "rrlog: no usable index (%s); serving the seek from a linear scan\n", ix.Reason())
+		}
+		iv, err := ix.DecodeInterval(core, seq)
+		if err != nil {
+			fatal(err)
+		}
+		printInterval(core, iv)
+		return
+	}
+
+	log, rep, err := relaxreplay.ReadLogRobustParallel(inj.WrapReader(f, size))
 	if err != nil {
 		// Nothing salvageable: the summary is the diagnosis.
 		if rep != nil {
@@ -83,14 +113,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := relaxreplay.WriteSalvagedLog(rf, log); err != nil {
+		write := relaxreplay.WriteSalvagedLog
+		format := "v2"
+		if *repairV3 {
+			write = relaxreplay.WriteSalvagedLogV3
+			format = "v3"
+		}
+		if err := write(rf, log); err != nil {
 			fatal(err)
 		}
 		if err := rf.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("repaired: wrote %d intact interval(s) across %d core(s) to %s\n",
-			countIntervals(log), len(log.Streams), *repair)
+		fmt.Printf("repaired: wrote %d intact interval(s) across %d core(s) to %s (%s)\n",
+			countIntervals(log), len(log.Streams), *repair, format)
 	}
 	if *verify {
 		if corrupt {
@@ -123,6 +159,19 @@ func main() {
 	fmt.Printf("instructions: %d; uncompressed size: %d bits (%.1f bits/1K instructions)\n",
 		log.Instructions(), log.SizeBits(),
 		float64(log.SizeBits())*1000/float64(max64(log.Instructions(), 1)))
+
+	if *statsFlag {
+		var v2n, v3n countWriter
+		if err := replaylog.Encode(&v2n, log); err != nil {
+			fatal(err)
+		}
+		if err := replaylog.EncodeV3(&v3n, log); err != nil {
+			fmt.Fprintln(os.Stderr, "rrlog: WARNING: log not v3-encodable:", err)
+		} else {
+			fmt.Printf("storage: on-disk %d B (format v%d); re-encoded v2 %d B, v3 %d B; compression ratio %.3f (v3/v2)\n",
+				size, rep.Version, v2n.n, v3n.n, float64(v3n.n)/float64(v2n.n))
+		}
+	}
 
 	t := stats.NewTable("per-core summary",
 		"core", "intervals", "instrs", "blocks", "reord ld", "reord st", "reord amo", "dummies", "preds")
@@ -171,35 +220,46 @@ func main() {
 			continue
 		}
 		for i := range s.Intervals {
-			iv := &s.Intervals[i]
-			fmt.Printf("core %d interval %d (cisn %d, ts %d", s.Core, i, iv.CISN, iv.Timestamp)
-			for _, p := range iv.Preds {
-				fmt.Printf(", after c%d/i%d", p.Core, p.Seq)
-			}
-			fmt.Print(")\n")
-			for _, e := range iv.Entries {
-				switch e.Type {
-				case replaylog.InorderBlock:
-					fmt.Printf("  InorderBlock      %d instructions\n", e.Size)
-				case replaylog.ReorderedLoad:
-					fmt.Printf("  ReorderedLoad     value=%d\n", e.Value)
-				case replaylog.ReorderedStore:
-					fmt.Printf("  ReorderedStore    [%#x]=%d offset=%d\n", e.Addr, e.Value, e.Offset)
-				case replaylog.PatchedStore:
-					fmt.Printf("  PatchedStore      [%#x]=%d\n", e.Addr, e.Value)
-				case replaylog.ReorderedAtomic:
-					fmt.Printf("  ReorderedAtomic   [%#x] loaded=%d stored=%d wrote=%v offset=%d\n",
-						e.Addr, e.Value, e.StoreValue, e.DidWrite, e.Offset)
-				case replaylog.Dummy:
-					fmt.Printf("  Dummy             (skip one store)\n")
-				}
-			}
+			printInterval(s.Core, &s.Intervals[i])
 		}
 	}
 	if corrupt {
 		os.Exit(1)
 	}
 }
+
+// printInterval renders one interval record the way -dump does; -seek
+// shares it for its single-interval output.
+func printInterval(core int, iv *replaylog.Interval) {
+	fmt.Printf("core %d interval %d (cisn %d, ts %d", core, iv.Seq, iv.CISN, iv.Timestamp)
+	for _, p := range iv.Preds {
+		fmt.Printf(", after c%d/i%d", p.Core, p.Seq)
+	}
+	fmt.Print(")\n")
+	for _, e := range iv.Entries {
+		switch e.Type {
+		case replaylog.InorderBlock:
+			fmt.Printf("  InorderBlock      %d instructions\n", e.Size)
+		case replaylog.ReorderedLoad:
+			fmt.Printf("  ReorderedLoad     value=%d\n", e.Value)
+		case replaylog.ReorderedStore:
+			fmt.Printf("  ReorderedStore    [%#x]=%d offset=%d\n", e.Addr, e.Value, e.Offset)
+		case replaylog.PatchedStore:
+			fmt.Printf("  PatchedStore      [%#x]=%d\n", e.Addr, e.Value)
+		case replaylog.ReorderedAtomic:
+			fmt.Printf("  ReorderedAtomic   [%#x] loaded=%d stored=%d wrote=%v offset=%d\n",
+				e.Addr, e.Value, e.StoreValue, e.DidWrite, e.Offset)
+		case replaylog.Dummy:
+			fmt.Printf("  Dummy             (skip one store)\n")
+		}
+	}
+}
+
+// countWriter counts bytes; -stats uses it to size re-encodings
+// without holding them in memory.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
 
 // countIntervals sums intervals across all streams.
 func countIntervals(log *relaxreplay.Log) int {

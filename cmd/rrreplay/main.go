@@ -60,10 +60,12 @@ func main() {
 
 	var log *relaxreplay.Log
 	var rep *relaxreplay.CorruptionReport
+	// The parallel readers decode v3 per-core streams concurrently and
+	// are identical to the sequential ones on v1/v2 logs.
 	if *partial {
-		log, rep, err = relaxreplay.ReadLogRobust(rd)
+		log, rep, err = relaxreplay.ReadLogRobustParallel(rd)
 	} else {
-		log, err = relaxreplay.ReadLog(rd)
+		log, err = relaxreplay.ReadLogParallel(rd)
 	}
 	if err != nil {
 		fatal(err)

@@ -40,6 +40,7 @@ func main() {
 	ordering := flag.String("ordering", "quickrec", "interval orderer: quickrec or lamport")
 	model := flag.String("model", "rc", "consistency model of the cores: rc, tso or sc")
 	out := flag.String("o", "", "write the serialized log to this file")
+	outV3 := flag.Bool("v3", false, "write -o in the compressed, indexed v3 format (write-side fault injection applies to v2 only)")
 	verify := flag.Bool("verify", false, "replay the log and verify determinism")
 	faults := flag.String("faults", "", "inject faults: point[,point...]@seed, or default@seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
@@ -171,15 +172,21 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		applied, err := rec.WriteLogWith(f, inj)
-		if err != nil {
-			fatal(err)
+		if *outV3 {
+			if err := rec.WriteLogV3(f); err != nil {
+				fatal(err)
+			}
+		} else {
+			applied, err := rec.WriteLogWith(f, inj)
+			if err != nil {
+				fatal(err)
+			}
+			for _, a := range applied {
+				fmt.Printf("fault injected into log bytes: %s\n", a)
+			}
 		}
 		st, _ := f.Stat()
 		fmt.Printf("wrote %s (%d bytes on disk)\n", *out, st.Size())
-		for _, a := range applied {
-			fmt.Printf("fault injected into log bytes: %s\n", a)
-		}
 	}
 	if inj != nil {
 		fmt.Printf("faults: %s\n", inj)

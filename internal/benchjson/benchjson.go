@@ -32,6 +32,10 @@ type Result struct {
 	// LogBytesPerSec reports encoded log bytes produced or consumed per
 	// wall-clock second (encode/decode benchmarks only).
 	LogBytesPerSec float64 `json:"log_bytes_per_sec,omitempty"`
+	// CompressionRatio reports encoded-v3 bytes over encoded-v2 bytes
+	// for the same log (encode-v3 benchmark only; < 1.0 means v3 is
+	// smaller).
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
 }
 
 // Report is the top-level BENCH_*.json document.
@@ -219,6 +223,48 @@ func Run() (*Report, error) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := synth.Patch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// v3 codec: compressed group frames + segment index (encode), and
+	// the per-core parallel decode path rrreplay uses.
+	var v3Buf bytes.Buffer
+	if err := replaylog.EncodeV3(&v3Buf, synth); err != nil {
+		return nil, err
+	}
+
+	add("encode-v3-synthetic", testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(v3Buf.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := replaylog.EncodeV3(io.Discard, synth); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	// Pin the size win next to the speed numbers: v3 bytes over v2
+	// bytes for the identical log.
+	rep.Results[len(rep.Results)-1].CompressionRatio = float64(v3Buf.Len()) / float64(synthBuf.Len())
+
+	add("decode-v3-synthetic", testing.Benchmark(func(b *testing.B) {
+		data := v3Buf.Bytes()
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := replaylog.Decode(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	add("decode-v3-parallel-synthetic", testing.Benchmark(func(b *testing.B) {
+		data := v3Buf.Bytes()
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := replaylog.DecodeParallel(bytes.NewReader(data)); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"relaxreplay/internal/core"
+	"relaxreplay/internal/replaylog"
 )
 
 // smallSuite keeps experiment tests fast: 4 cores, a 3-app subset,
@@ -112,6 +114,40 @@ func TestFigure10And11Invariants(t *testing.T) {
 		if r.Opt4KMBps <= 0 {
 			t.Fatalf("%s: nonpositive log rate", r.App)
 		}
+		// Every config must report a compressed v3 footprint.
+		for _, v3B := range []float64{r.Base4KV3B, r.Opt4KV3B, r.BaseINFV3B, r.OptINFV3B} {
+			if v3B <= 0 {
+				t.Fatalf("%s: missing v3 bytes/1K", r.App)
+			}
+		}
+	}
+}
+
+// TestV3CompressionRatio pins the storage win the v3 format exists
+// for: on a real recording the compressed encoding is strictly
+// smaller than the v2 encoding of the same log (ratio in (0,1)).
+func TestV3CompressionRatio(t *testing.T) {
+	s := smallSuite()
+	run, err := s.Record("fft", core.Base, I4K, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2, v3 bytes.Buffer
+	if err := replaylog.Encode(&v2, run.Res.Log); err != nil {
+		t.Fatal(err)
+	}
+	if err := replaylog.EncodeV3(&v3, run.Res.Log); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(v3.Len()) / float64(v2.Len())
+	if !(ratio > 0 && ratio < 1) {
+		t.Fatalf("v3/v2 compression ratio %.3f not in (0,1) (v3 %d B, v2 %d B)",
+			ratio, v3.Len(), v2.Len())
+	}
+	// And the figure metric agrees with an independent re-encode.
+	want := float64(v3.Len()) * 1000 / float64(run.Instructions())
+	if got := run.V3BytesPer1K(); got != want {
+		t.Fatalf("V3BytesPer1K = %v, want %v", got, want)
 	}
 }
 

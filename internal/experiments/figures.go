@@ -160,6 +160,9 @@ type Fig11Row struct {
 	App                                            string
 	Base4KBits, Opt4KBits, BaseINFBits, OptINFBits float64 // bits / 1K instructions
 	Base4KMBps, Opt4KMBps, BaseINFMBps, OptINFMBps float64
+	// Compressed on-disk (format v3) bytes / 1K instructions, shown
+	// next to the paper's uncompressed architectural metric above.
+	Base4KV3B, Opt4KV3B, BaseINFV3B, OptINFV3B float64
 }
 
 // Figure11 reproduces paper Figure 11: uncompressed log size in bits
@@ -177,14 +180,14 @@ func (s *Suite) Figure11() ([]Fig11Row, *stats.Table, error) {
 	for _, app := range s.Apps() {
 		row := Fig11Row{App: app}
 		for _, cfg := range []struct {
-			v          core.Variant
-			m          IntervalMode
-			bits, rate *float64
+			v              core.Variant
+			m              IntervalMode
+			bits, rate, v3 *float64
 		}{
-			{core.Base, I4K, &row.Base4KBits, &row.Base4KMBps},
-			{core.Opt, I4K, &row.Opt4KBits, &row.Opt4KMBps},
-			{core.Base, INF, &row.BaseINFBits, &row.BaseINFMBps},
-			{core.Opt, INF, &row.OptINFBits, &row.OptINFMBps},
+			{core.Base, I4K, &row.Base4KBits, &row.Base4KMBps, &row.Base4KV3B},
+			{core.Opt, I4K, &row.Opt4KBits, &row.Opt4KMBps, &row.Opt4KV3B},
+			{core.Base, INF, &row.BaseINFBits, &row.BaseINFMBps, &row.BaseINFV3B},
+			{core.Opt, INF, &row.OptINFBits, &row.OptINFMBps, &row.OptINFV3B},
 		} {
 			run, err := s.Record(app, cfg.v, cfg.m, s.opts.Cores)
 			if err != nil {
@@ -192,6 +195,7 @@ func (s *Suite) Figure11() ([]Fig11Row, *stats.Table, error) {
 			}
 			*cfg.bits = run.BitsPer1K()
 			*cfg.rate = run.LogRateMBps(s.opts.ClockGHz)
+			*cfg.v3 = run.V3BytesPer1K()
 		}
 		avg.Base4KBits += row.Base4KBits
 		avg.Opt4KBits += row.Opt4KBits
@@ -201,6 +205,10 @@ func (s *Suite) Figure11() ([]Fig11Row, *stats.Table, error) {
 		avg.Opt4KMBps += row.Opt4KMBps
 		avg.BaseINFMBps += row.BaseINFMBps
 		avg.OptINFMBps += row.OptINFMBps
+		avg.Base4KV3B += row.Base4KV3B
+		avg.Opt4KV3B += row.Opt4KV3B
+		avg.BaseINFV3B += row.BaseINFV3B
+		avg.OptINFV3B += row.OptINFV3B
 		rows = append(rows, row)
 		t.AddRow(app, stats.F(row.Base4KBits, 0), stats.F(row.Opt4KBits, 0),
 			stats.F(row.BaseINFBits, 0), stats.F(row.OptINFBits, 0))
@@ -214,11 +222,17 @@ func (s *Suite) Figure11() ([]Fig11Row, *stats.Table, error) {
 	avg.Opt4KMBps /= n
 	avg.BaseINFMBps /= n
 	avg.OptINFMBps /= n
+	avg.Base4KV3B /= n
+	avg.Opt4KV3B /= n
+	avg.BaseINFV3B /= n
+	avg.OptINFV3B /= n
 	rows = append(rows, avg)
 	t.AddRow("average", stats.F(avg.Base4KBits, 0), stats.F(avg.Opt4KBits, 0),
 		stats.F(avg.BaseINFBits, 0), stats.F(avg.OptINFBits, 0))
 	t.AddRow("MB/s @2GHz", stats.F(avg.Base4KMBps, 1), stats.F(avg.Opt4KMBps, 1),
 		stats.F(avg.BaseINFMBps, 1), stats.F(avg.OptINFMBps, 1))
+	t.AddRow("v3 B/1K", stats.F(avg.Base4KV3B, 1), stats.F(avg.Opt4KV3B, 1),
+		stats.F(avg.BaseINFV3B, 1), stats.F(avg.OptINFV3B, 1))
 	return rows, t, nil
 }
 

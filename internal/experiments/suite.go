@@ -28,6 +28,7 @@ import (
 	"relaxreplay/internal/core"
 	"relaxreplay/internal/machine"
 	"relaxreplay/internal/replay"
+	"relaxreplay/internal/replaylog"
 	"relaxreplay/internal/telemetry"
 	"relaxreplay/internal/workload"
 )
@@ -129,6 +130,9 @@ type Run struct {
 	repMu  sync.Mutex
 	rep    *replay.Result
 	repErr error
+
+	v3Once  sync.Once
+	v3Bytes int64
 }
 
 // cacheEntry is the singleflight slot for one Spec: the first
@@ -525,6 +529,33 @@ func (r *Run) BitsPer1K() float64 {
 		return 0
 	}
 	return float64(r.Res.Log.SizeBits()) * 1000 / float64(n)
+}
+
+// V3BytesPer1K returns the on-disk (format v3: delta/varint +
+// deflate) log bytes per 1000 instructions, the storage companion to
+// BitsPer1K's architectural Figure-11 metric. The encoding is
+// memoized per Run; an unencodable log reports 0.
+func (r *Run) V3BytesPer1K() float64 {
+	n := r.Instructions()
+	if n == 0 {
+		return 0
+	}
+	r.v3Once.Do(func() {
+		var cw byteCounter
+		if err := replaylog.EncodeV3(&cw, r.Res.Log); err == nil {
+			r.v3Bytes = cw.n
+		}
+	})
+	return float64(r.v3Bytes) * 1000 / float64(n)
+}
+
+// byteCounter counts without buffering so V3BytesPer1K never holds a
+// second copy of the log.
+type byteCounter struct{ n int64 }
+
+func (c *byteCounter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
 }
 
 // LogRateMBps returns the logging bandwidth at the given clock.

@@ -112,3 +112,84 @@ func BenchmarkPatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEncodeV3 measures the compressed v3 encoder (delta/varint
+// group bodies plus the flate stage) on the same synthetic log.
+func BenchmarkEncodeV3(b *testing.B) {
+	l := benchLog(8, 256)
+	var buf bytes.Buffer
+	if err := EncodeV3(&buf, l); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := EncodeV3(io.Discard, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeV3 measures the sequential v3 decode.
+func BenchmarkDecodeV3(b *testing.B) {
+	l := benchLog(8, 256)
+	var buf bytes.Buffer
+	if err := EncodeV3(&buf, l); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeRobust(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeV3Parallel measures the per-core parallel v3 decode
+// (the rrreplay read path) on the same bytes as BenchmarkDecodeV3.
+func BenchmarkDecodeV3Parallel(b *testing.B) {
+	l := benchLog(8, 256)
+	var buf bytes.Buffer
+	if err := EncodeV3(&buf, l); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeParallel(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeInterval measures one indexed seek (end frame +
+// index footer + one group frame) against the full-scan alternative
+// the index replaces.
+func BenchmarkDecodeInterval(b *testing.B) {
+	l := benchLog(8, 256)
+	var buf bytes.Buffer
+	if err := EncodeV3(&buf, l); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	ix, err := OpenIndexed(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !ix.Indexed() {
+		b.Fatalf("index not live: %s", ix.Reason())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.DecodeInterval(i%8, uint64(i%256)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

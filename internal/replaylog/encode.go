@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"runtime"
 
 	"relaxreplay/internal/faultinject"
 )
@@ -22,6 +23,7 @@ var magic = [4]byte{'R', 'R', 'L', 'G'}
 const (
 	formatV1 = 1
 	formatV2 = 2
+	formatV3 = 3
 )
 
 // payload is a little-endian frame-payload builder.
@@ -60,15 +62,18 @@ func (p *payload) entry(e Entry) error {
 	return nil
 }
 
-// frameWriter emits checksummed v2 frames. count is the running frame
-// total that the end frame publishes so decodeV2 can detect whole
-// frames vanishing without a trace. The header/trailer scratch arrays
+// frameWriter emits checksummed v2/v3 frames. count is the running
+// frame total that the end frame publishes so the decoders can detect
+// whole frames vanishing without a trace; off is the byte offset of
+// the next frame from the start of the file (the v3 encoder reads it
+// to build the segment index). The header/trailer scratch arrays
 // live in the struct: stack-local arrays would escape through the
 // io.Writer call inside bufio.Writer and turn every frame into two
 // heap allocations (this is the encoder's per-interval path).
 type frameWriter struct {
 	w     *bufio.Writer
 	count uint32
+	off   int64
 	err   error
 	hdr   [9]byte
 	tail  [4]byte
@@ -105,6 +110,7 @@ func (fw *frameWriter) frame(t FrameType, body []byte) {
 		return
 	}
 	fw.count++
+	fw.off += int64(len(fw.hdr) + len(body) + len(fw.tail))
 }
 
 // Encode writes the log to w in format v2.
@@ -328,6 +334,20 @@ func Decode(r io.Reader) (*Log, error) {
 // did not. The error is non-nil only when nothing was recoverable
 // (unreadable source, bad magic, unknown version).
 func DecodeRobust(r io.Reader) (*Log, *CorruptionReport, error) {
+	return decodeReader(r, 1)
+}
+
+// DecodeParallel is DecodeRobust with the v3 per-core decode fanned
+// out across GOMAXPROCS goroutines: after one sequential scan pass
+// partitions the frames, each core's group frames decompress and
+// decode concurrently, and the merge is deterministic — the returned
+// log and report are identical to DecodeRobust's on the same bytes.
+// v1/v2 streams have no per-core partitioning and decode sequentially.
+func DecodeParallel(r io.Reader) (*Log, *CorruptionReport, error) {
+	return decodeReader(r, runtime.GOMAXPROCS(0))
+}
+
+func decodeReader(r io.Reader, workers int) (*Log, *CorruptionReport, error) {
 	data, err := io.ReadAll(r)
 	if err != nil && len(data) == 0 {
 		return nil, nil, err
@@ -345,6 +365,8 @@ func DecodeRobust(r io.Reader) (*Log, *CorruptionReport, error) {
 		return decodeV1(data[6:])
 	case formatV2:
 		return decodeV2(data[6:])
+	case formatV3:
+		return decodeV3(data[6:], workers)
 	default:
 		return nil, nil, fmt.Errorf("replaylog: unsupported version %d", version)
 	}
@@ -401,6 +423,25 @@ func (b *byteReader) u64() uint64 {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(s)
+}
+
+// uvarint reads an unsigned varint (v3 fields). A malformed or
+// overlong encoding sets short, like any other truncated read.
+func (b *byteReader) uvarint() uint64 {
+	v, n := binary.Uvarint(b.data[b.pos:])
+	if n <= 0 {
+		b.short = true
+		b.pos = len(b.data)
+		return 0
+	}
+	b.pos += n
+	return v
+}
+
+// svarint reads a zigzag-encoded signed varint (v3 address deltas).
+func (b *byteReader) svarint() int64 {
+	u := b.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
 }
 
 // entry decodes one log entry; the bool is false on a short or
@@ -482,6 +523,7 @@ func decodeV2(data []byte) (*Log, *CorruptionReport, error) {
 			// The length field is part of what failed the checksum, so
 			// the claimed frame end cannot be trusted either: resync.
 			pos++
+			rep.BytesSkipped++
 			continue
 		}
 		encountered++
@@ -651,6 +693,12 @@ func nameFrame(fe *FrameError, typ FrameType, body []byte) {
 			if !br.short {
 				fe.Seq = seq
 			}
+		}
+	case FrameIvGroup:
+		br.u8() // flags
+		core := br.uvarint()
+		if !br.short && core < MaxCores {
+			fe.Core = int(core)
 		}
 	}
 }

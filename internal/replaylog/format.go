@@ -34,7 +34,32 @@ import (
 // clean-tail truncation. Version 1 files (no framing, no checksums)
 // still decode.
 
-// FrameType discriminates v2 frames.
+// On-disk format v3 (see DESIGN.md "Log format v3") keeps the same
+// preamble and the same sync/type/length/CRC32C framing, so the
+// resyncing salvage machinery is shared, and replaces the per-interval
+// frames with compressed *group* frames plus a seekable index footer:
+//
+//	file  := magic "RRLG" | version u16 = 3 | frame* | index | end
+//	group (6): flags u8 | core uvarint | body (raw, or flate when flags&1)
+//	index (7): nspans uvarint | span*
+//	span  := core uvarint | firstSeq uvarint | lastSeq-firstSeq uvarint
+//	       | offset uvarint | length uvarint
+//	end   (5): frames u32 | index offset u64 (LE; byte offset of the
+//	           index frame's sync word from the start of the file)
+//
+// A group body holds up to V3Options.GroupSize consecutive intervals
+// of one core, delta-encoded: the first interval carries absolute
+// Seq/Timestamp varints, later ones carry (strictly positive) Seq
+// deltas and (non-negative) Timestamp deltas; store/atomic addresses
+// are zigzag deltas against the previous address in the group; every
+// other entry field is a varint. The group frame is the unit of loss —
+// a corrupt frame costs at most GroupSize intervals — and is
+// self-contained, so the robust decoder salvages frame by frame and
+// OpenIndexed decodes one group without touching the rest of the file.
+// The index footer is advisory: destroying it (or the end frame) only
+// costs the O(log n) seek; linear decode recovers everything else.
+
+// FrameType discriminates v2/v3 frames.
 type FrameType uint8
 
 const (
@@ -44,6 +69,10 @@ const (
 	FrameStream   FrameType = 3
 	FrameInterval FrameType = 4
 	FrameEnd      FrameType = 5
+	// FrameIvGroup is a v3 compressed interval-group frame.
+	FrameIvGroup FrameType = 6
+	// FrameIndex is the v3 segment-index footer frame.
+	FrameIndex FrameType = 7
 )
 
 func (t FrameType) String() string {
@@ -58,6 +87,10 @@ func (t FrameType) String() string {
 		return "interval"
 	case FrameEnd:
 		return "end"
+	case FrameIvGroup:
+		return "group"
+	case FrameIndex:
+		return "index"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }
@@ -82,6 +115,10 @@ const (
 	MaxEntriesPerInterval = 1 << 22
 	// MaxPredsPerInterval bounds one interval's dependence-edge count.
 	MaxPredsPerInterval = 1 << 20
+	// MaxGroupIntervals bounds one v3 group frame's interval count.
+	MaxGroupIntervals = 1 << 16
+	// MaxIndexSpans bounds the v3 index footer's span count.
+	MaxIndexSpans = 1 << 24
 )
 
 // castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).

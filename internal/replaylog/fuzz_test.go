@@ -29,6 +29,13 @@ func FuzzDecode(f *testing.F) {
 	for i := 0; i < 4; i++ {
 		seed(randomLog(rng))
 	}
+	// v3 input is safe here too: the re-encode branch below only fires
+	// on Version 2, and the shared invariants must hold on every format.
+	var v3 bytes.Buffer
+	if err := EncodeV3(&v3, sampleLog()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v3.Bytes())
 	f.Add([]byte("RRLG"))
 	f.Add([]byte{})
 
@@ -66,6 +73,69 @@ func FuzzDecode(f *testing.F) {
 			}
 			if !reflect.DeepEqual(l, l2) {
 				t.Fatal("re-encode round trip changed the log")
+			}
+		}
+	})
+}
+
+// FuzzDecodeV3 targets the v3 pipeline: group frames, deflate bodies,
+// the segment index and the parallel per-core decoder. Invariants:
+// DecodeRobust never panics; DecodeParallel returns the identical log
+// AND report on every input; and a clean v3 decode re-encodes with
+// EncodeV3 losslessly (clean v3 enforces the per-core seq/timestamp
+// monotonicity EncodeV3 demands, so re-encoding must never fail).
+func FuzzDecodeV3(f *testing.F) {
+	seed := func(l *Log, opts V3Options) []byte {
+		var buf bytes.Buffer
+		if err := EncodeV3With(&buf, l, opts); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		return buf.Bytes()
+	}
+	clean := seed(sampleLog(), V3Options{})
+	seed(sampleLog(), V3Options{NoCompress: true})
+	seed(sampleLog(), V3Options{GroupSize: 1})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3; i++ {
+		seed(randomLog(rng), V3Options{})
+	}
+	// Damaged variants: a flipped payload byte (CRC salvage path), a
+	// truncated tail (lost index footer), and a bare preamble.
+	flipped := append([]byte(nil), clean...)
+	if len(flipped) > 40 {
+		flipped[len(flipped)-40] ^= 0xFF
+	}
+	f.Add(flipped)
+	f.Add(clean[:len(clean)*2/3])
+	f.Add([]byte{'R', 'R', 'L', 'G', 3, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, rep, err := DecodeRobust(bytes.NewReader(data))
+		pl, prep, perr := DecodeParallel(bytes.NewReader(data))
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("robust err=%v but parallel err=%v", err, perr)
+		}
+		if err != nil {
+			if l != nil || rep != nil {
+				t.Fatal("hard failure returned a partial result")
+			}
+			return
+		}
+		if !reflect.DeepEqual(l, pl) || !reflect.DeepEqual(rep, prep) {
+			t.Fatal("parallel decode disagrees with robust decode")
+		}
+		if rep.Clean() && rep.Version == 3 {
+			var re bytes.Buffer
+			if err := EncodeV3(&re, l); err != nil {
+				t.Fatalf("clean v3 decode does not re-encode: %v", err)
+			}
+			l2, rep2, err := DecodeRobust(bytes.NewReader(re.Bytes()))
+			if err != nil || !rep2.Clean() {
+				t.Fatalf("re-encoded clean v3 log is not clean: %v %+v", err, rep2)
+			}
+			if !reflect.DeepEqual(l, l2) {
+				t.Fatal("v3 re-encode round trip changed the log")
 			}
 		}
 	})

@@ -235,13 +235,12 @@ func (l *Log) Patch() (*Log, error) {
 					if e.Type == ReorderedStore {
 						iv.Entries[j] = Entry{Type: Dummy}
 					} else {
+						iv.Entries[j] = Entry{Type: ReorderedLoad, Value: e.Value}
 						if !e.DidWrite {
-							// Failed CAS: nothing to patch; replay it
-							// as a pure value injection.
-							iv.Entries[j] = Entry{Type: ReorderedLoad, Value: e.Value}
+							// Failed CAS: nothing to patch; the value
+							// injection above replays it completely.
 							continue
 						}
-						iv.Entries[j] = Entry{Type: ReorderedLoad, Value: e.Value}
 					}
 					ns.Intervals[target].Entries = append(ns.Intervals[target].Entries,
 						Entry{Type: PatchedStore, Addr: e.Addr, Value: valueForPatch(e), Offset: e.Offset})
@@ -295,8 +294,15 @@ func (l *Log) PatchPartial() (*Log, int, error) {
 							continue
 						}
 					}
+					// Guard before subtracting: a wrapped iv.Seq-Offset
+					// key could alias a real (huge) sequence number and
+					// graft the store onto an unrelated interval.
+					if uint64(e.Offset) > iv.Seq {
+						dropped++ // offset reaches before the log start
+						continue
+					}
 					target, ok := bySeq[iv.Seq-uint64(e.Offset)]
-					if !ok || uint64(e.Offset) > iv.Seq {
+					if !ok {
 						dropped++ // target interval was lost with the corruption
 						continue
 					}
