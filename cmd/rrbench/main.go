@@ -14,7 +14,9 @@
 // every cell to end classified — replayed byte-identically, degraded
 // with the loss itemized, rejected with a typed error, or stalled into
 // a watchdog report. Any panic, hang, silent divergence or untyped
-// error fails the run.
+// error fails the run. -forensics PATH archives every degraded cell's
+// structured divergence reports (see internal/replay.DivergenceReport)
+// as one JSON document next to the matrix.
 //
 // The -fig argument accepts a comma-separated subset of:
 //
@@ -52,6 +54,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +66,7 @@ import (
 	"relaxreplay/internal/coherence"
 	"relaxreplay/internal/experiments"
 	"relaxreplay/internal/faultinject"
+	"relaxreplay/internal/replay"
 	"relaxreplay/internal/telemetry"
 )
 
@@ -82,6 +86,7 @@ func main() {
 	noverify := flag.Bool("noverify", false, "skip replay verification of each recording")
 	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
 	faults := flag.String("faults", "", "chaos mode: run the fault matrix with this point[,point...]@seed spec")
+	forensics := flag.String("forensics", "", "with -faults: write the chaos matrix's divergence forensics as JSON to this path")
 	benchjsonPath := flag.String("benchjson", "", "run the pipeline benchmarks, write BENCH_*.json to this path, and exit")
 	var tf telemetry.Flags
 	tf.Register(nil)
@@ -269,6 +274,11 @@ func main() {
 		res, cerr := s.ChaosMatrix(inj)
 		if res != nil {
 			fmt.Println(res.Table)
+			if *forensics != "" {
+				if err := writeChaosForensics(*forensics, res); err != nil {
+					fatal(err)
+				}
+			}
 		}
 		if cerr != nil {
 			fatal(cerr)
@@ -278,6 +288,36 @@ func main() {
 	if err := tf.Flush(tel); err != nil {
 		fatal(err)
 	}
+}
+
+// writeChaosForensics archives every degraded cell's divergence
+// reports as one JSON document. Always written when requested — an
+// all-clean matrix yields an empty array — so CI can archive the file
+// unconditionally.
+func writeChaosForensics(path string, res *experiments.ChaosResult) error {
+	type cellForensics struct {
+		App       string                     `json:"app"`
+		Point     string                     `json:"point"`
+		Outcome   string                     `json:"outcome"`
+		Detail    string                     `json:"detail,omitempty"`
+		Forensics []*replay.DivergenceReport `json:"forensics"`
+	}
+	out := []cellForensics{}
+	for _, c := range res.Cells {
+		if len(c.Forensics) == 0 {
+			continue
+		}
+		out = append(out, cellForensics{c.App, c.Point, c.Outcome, c.Detail, c.Forensics})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rrbench: wrote forensics for %d degraded cell(s) to %s\n", len(out), path)
+	return nil
 }
 
 func show2(t fmt.Stringer, err error) error {

@@ -7,8 +7,11 @@
 //	      [-faults spec@seed] [-metrics report.txt] [-trace trace.json]
 //
 // Without -dump it prints summary statistics (per-core interval and
-// entry counts, size accounting, reorder histogram). With -dump it
-// prints every interval record in a readable form. -stats adds storage
+// entry counts, size accounting, reorder histogram, and — when the log
+// carries a provenance sideband from rrsim -provenance -v3 — a
+// per-core termination-cause table; rrtrace analyzes the sideband in
+// depth). With -dump it prints every interval record in a readable
+// form. -stats adds storage
 // accounting: the on-disk size next to the log re-encoded in the v2
 // and compressed v3 formats, with the v3/v2 compression ratio. -seek
 // core:seq fetches a single interval through the v3 segment index
@@ -35,6 +38,7 @@ import (
 	"os"
 
 	"relaxreplay"
+	"relaxreplay/internal/provenance"
 	"relaxreplay/internal/replaylog"
 	"relaxreplay/internal/stats"
 	"relaxreplay/internal/telemetry"
@@ -171,6 +175,29 @@ func main() {
 			fmt.Printf("storage: on-disk %d B (format v%d); re-encoded v2 %d B, v3 %d B; compression ratio %.3f (v3/v2)\n",
 				size, rep.Version, v2n.n, v3n.n, float64(v3n.n)/float64(v2n.n))
 		}
+	}
+
+	if len(log.Provenance) > 0 {
+		pt := stats.NewTable("provenance sideband",
+			"core", "records", "conflict", "size", "final", "reorders")
+		for _, cp := range log.Provenance {
+			var conf, size, final, reord int
+			for _, r := range cp.Records {
+				switch r.Cause {
+				case provenance.CauseConflict:
+					conf++
+				case provenance.CauseSize:
+					size++
+				case provenance.CauseFinal:
+					final++
+				}
+				reord += len(r.Reorders)
+			}
+			pt.AddRow(fmt.Sprint(cp.Core), fmt.Sprint(len(cp.Records)),
+				fmt.Sprint(conf), fmt.Sprint(size), fmt.Sprint(final), fmt.Sprint(reord))
+		}
+		fmt.Println()
+		fmt.Println(pt)
 	}
 
 	t := stats.NewTable("per-core summary",

@@ -6,7 +6,16 @@
 // Usage:
 //
 //	rrreplay -log fft.rrlog -app fft [-cores 8] [-scale 3]
-//	         [-partial] [-faults spec@seed]
+//	         [-partial] [-forensics report.json] [-faults spec@seed]
+//
+// -forensics writes a JSON array of structured divergence reports to
+// the given path: one report per abandoned core (under -partial) or
+// for the strict-mode divergence, each carrying the expected-vs-actual
+// mismatch, a context window of the preceding intervals across cores,
+// and — when the log carries a provenance sideband — why the diverged
+// interval terminated during recording. The file is always written: a
+// clean replay yields an empty array, so automation can rely on its
+// existence.
 //
 // Strict mode (the default) reads and replays the log with every
 // integrity check fatal: a corrupt frame, a truncated file or a
@@ -19,6 +28,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +45,7 @@ func main() {
 	cores := flag.Int("cores", 8, "core count used at recording")
 	scale := flag.Int("scale", 3, "problem scale used at recording")
 	partial := flag.Bool("partial", false, "graceful degradation: salvage a damaged log and replay the surviving prefix")
+	forensics := flag.String("forensics", "", "write divergence forensics as a JSON array to this path (empty array when clean)")
 	faults := flag.String("faults", "", "inject read-side faults: point[,point...]@seed")
 	var tf telemetry.Flags
 	tf.Register(nil)
@@ -104,6 +116,16 @@ func main() {
 		res, err = relaxreplay.ReplayLogWith(log, w, tel)
 	}
 	if err != nil {
+		// Strict-mode divergence: write the forensic report for the one
+		// divergence before failing, so the evidence survives the exit.
+		var div *relaxreplay.DivergedError
+		if *forensics != "" && errors.As(err, &div) {
+			reports := relaxreplay.DivergenceForensics(log, []relaxreplay.Degradation{
+				{Core: div.Core, Interval: div.Interval, Seq: div.Seq, Cause: div.Cause}})
+			if werr := writeForensics(*forensics, reports); werr != nil {
+				fmt.Fprintln(os.Stderr, "rrreplay:", werr)
+			}
+		}
 		fatal(err)
 	}
 	fmt.Printf("replayed %d intervals, modeled time %d cycles (user %d + OS %d)\n",
@@ -112,6 +134,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rrreplay: degraded: %s\n", d.String())
 	}
 	degraded := len(res.Degradations) > 0 || (rep != nil && !rep.Clean())
+	if *forensics != "" {
+		reports := relaxreplay.DivergenceForensics(log, res.Degradations)
+		if len(reports) == 0 && rep != nil && !rep.Clean() {
+			// Degraded purely from log damage: replay itself stayed on
+			// its streams, so the damage summary is the forensic record.
+			reports = append(reports, relaxreplay.DamageForensics(rep.Summary()))
+		}
+		if err := writeForensics(*forensics, reports); err != nil {
+			fatal(err)
+		}
+	}
 	if check != nil && !degraded {
 		if err := check(res.FinalMemory); err != nil {
 			fatal(fmt.Errorf("replayed memory fails the workload oracle: %w", err))
@@ -126,6 +159,24 @@ func main() {
 		// automation never mistakes a salvaged replay for a clean one.
 		os.Exit(3)
 	}
+}
+
+// writeForensics serializes the divergence reports as a JSON array.
+// The file is written even when there is nothing to report (an empty
+// array), so automation can rely on its existence after any run.
+func writeForensics(path string, reports []*relaxreplay.DivergenceReport) error {
+	if reports == nil {
+		reports = []*relaxreplay.DivergenceReport{}
+	}
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rrreplay: wrote %d forensic report(s) to %s\n", len(reports), path)
+	return nil
 }
 
 func fatal(err error) {

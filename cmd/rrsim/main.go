@@ -5,7 +5,13 @@
 //
 //	rrsim -app fft [-cores 8] [-scale 3] [-variant opt|base]
 //	      [-interval 4k|inf] [-protocol snoopy|directory]
-//	      [-o fft.rrlog] [-verify] [-faults spec@seed]
+//	      [-o fft.rrlog] [-v3] [-provenance] [-verify] [-faults spec@seed]
+//
+// -provenance captures the per-interval provenance sideband (why each
+// interval terminated, conflicting lines and remote cores, reorder
+// instants, queue occupancy). Capture never changes the interval log;
+// the sideband is persisted in -v3 files and consumed by rrtrace's
+// stall/conflict attribution and rrreplay's divergence forensics.
 //
 // -faults injects deterministic faults (see internal/faultinject):
 // interconnect and flush-crash points perturb the recording itself —
@@ -42,6 +48,7 @@ func main() {
 	out := flag.String("o", "", "write the serialized log to this file")
 	outV3 := flag.Bool("v3", false, "write -o in the compressed, indexed v3 format (write-side fault injection applies to v2 only)")
 	verify := flag.Bool("verify", false, "replay the log and verify determinism")
+	prov := flag.Bool("provenance", false, "capture per-interval provenance (termination causes, conflicts, reorder instants); persisted in -v3 logs, consumed by rrtrace and forensics")
 	faults := flag.String("faults", "", "inject faults: point[,point...]@seed, or default@seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
@@ -138,6 +145,9 @@ func main() {
 	}
 	inj.SetTelemetry(tel)
 	cfg.Faults = inj
+	if *prov {
+		cfg.Provenance = relaxreplay.NewProvenanceCollector()
+	}
 
 	rec, err := relaxreplay.Record(cfg, w)
 	if err != nil {
@@ -155,6 +165,19 @@ func main() {
 		w.Name, cfg.Cores, instr, rec.Cycles())
 	fmt.Printf("log: %d bits uncompressed (%.1f bits/1K instructions), %d reordered accesses\n",
 		bits, float64(bits)*1000/float64(instr), rec.ReorderedAccesses())
+	if *prov {
+		var recs, reorders int
+		for _, cp := range rec.Provenance() {
+			recs += len(cp.Records)
+			for _, r := range cp.Records {
+				reorders += len(r.Reorders)
+			}
+		}
+		fmt.Printf("provenance: %d interval records, %d reorder instants captured\n", recs, reorders)
+		if *out != "" && !*outV3 {
+			fmt.Fprintln(os.Stderr, "rrsim: note: the provenance sideband is only persisted by -v3 logs")
+		}
+	}
 
 	if *verify {
 		rep, err := rec.Replay()

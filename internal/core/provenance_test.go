@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"relaxreplay/internal/provenance"
+	"relaxreplay/internal/replaylog"
+)
+
+// TestProvenanceCaptureObservesOnly: recording with a provenance
+// collector must leave the interval log byte-identical to recording
+// without one, and the captured sideband must be consistent with the
+// streams and the recorder stats.
+func TestProvenanceCaptureObservesOnly(t *testing.T) {
+	mcfg := machineConfig(2, 0)
+	w := racyWorkload(2, 42)
+
+	rcfg := configs()["opt-tiny"]
+	plain, err := Record(mcfg, rcfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rcfgProv := rcfg
+	rcfgProv.Provenance = provenance.NewCollector()
+	traced, err := Record(mcfg, rcfgProv, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The interval log itself is unchanged: v2 encodings (which never
+	// carry the sideband) must be byte-identical.
+	var a, b bytes.Buffer
+	if err := replaylog.Encode(&a, plain.Log); err != nil {
+		t.Fatal(err)
+	}
+	if err := replaylog.Encode(&b, traced.Log); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("provenance capture changed the recorded log")
+	}
+	if plain.Log.Provenance != nil {
+		t.Fatal("recording without a collector attached provenance")
+	}
+
+	// Sideband consistency: one record per terminated interval, seqs
+	// aligned with the stream, causes reconciling with the stats.
+	if len(traced.Log.Provenance) != len(traced.Log.Streams) {
+		t.Fatalf("provenance covers %d cores, streams cover %d",
+			len(traced.Log.Provenance), len(traced.Log.Streams))
+	}
+	var conflicts, sizes, finals, reorders uint64
+	for i, cp := range traced.Log.Provenance {
+		stream := traced.Log.Streams[i]
+		if cp.Core != stream.Core {
+			t.Fatalf("provenance core %d misaligned with stream core %d", cp.Core, stream.Core)
+		}
+		if len(cp.Records) != len(stream.Intervals) {
+			t.Fatalf("core %d: %d provenance records for %d intervals",
+				cp.Core, len(cp.Records), len(stream.Intervals))
+		}
+		for j, r := range cp.Records {
+			if r.Seq != stream.Intervals[j].Seq {
+				t.Fatalf("core %d record %d: seq %d != interval seq %d",
+					cp.Core, j, r.Seq, stream.Intervals[j].Seq)
+			}
+			switch r.Cause {
+			case provenance.CauseConflict:
+				conflicts++
+				if r.RemoteCore < 0 || int(r.RemoteCore) >= len(traced.Log.Streams) {
+					t.Fatalf("core %d seq %d: conflict termination with remote core %d",
+						cp.Core, r.Seq, r.RemoteCore)
+				}
+			case provenance.CauseSize:
+				sizes++
+			case provenance.CauseFinal:
+				finals++
+				if j != len(cp.Records)-1 {
+					t.Fatalf("core %d: final termination at record %d of %d", cp.Core, j, len(cp.Records))
+				}
+			default:
+				t.Fatalf("core %d seq %d: unexpected cause %v", cp.Core, r.Seq, r.Cause)
+			}
+			reorders += uint64(len(r.Reorders))
+		}
+	}
+	var wantConf, wantSize, wantReord uint64
+	for _, s := range traced.RecStats {
+		wantConf += s.ConflictTerminations
+		wantSize += s.SizeTerminations
+		wantReord += s.ReorderedLoads + s.ReorderedStores + s.ReorderedAtomics
+	}
+	if conflicts != wantConf || sizes != wantSize {
+		t.Fatalf("cause counts conflict=%d size=%d, stats say %d/%d", conflicts, sizes, wantConf, wantSize)
+	}
+	if finals != uint64(len(traced.Log.Streams)) {
+		t.Fatalf("%d final terminations for %d cores", finals, len(traced.Log.Streams))
+	}
+	if reorders != wantReord {
+		t.Fatalf("%d reorder instants, stats say %d reordered accesses", reorders, wantReord)
+	}
+	if conflicts == 0 || reorders == 0 {
+		t.Fatal("workload produced no conflicts/reorders; test exercises nothing")
+	}
+
+	// And the sideband itself is deterministic across identical runs.
+	rcfgProv2 := rcfg
+	rcfgProv2.Provenance = provenance.NewCollector()
+	again, err := Record(mcfg, rcfgProv2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Log.Provenance, traced.Log.Provenance) {
+		t.Fatal("provenance sideband differs between identical recordings")
+	}
+}

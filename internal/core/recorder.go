@@ -20,6 +20,7 @@ import (
 	"relaxreplay/internal/bloom"
 	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/isa"
+	"relaxreplay/internal/provenance"
 	"relaxreplay/internal/replaylog"
 	"relaxreplay/internal/telemetry"
 )
@@ -92,6 +93,13 @@ type Config struct {
 	// (metric names under "core.", trace category "core"). It observes
 	// only: recorded logs are identical with or without it.
 	Telemetry *telemetry.Telemetry
+
+	// Provenance, when non-nil, captures the flight-recorder sideband:
+	// per-interval termination causes, conflicting line/remote core,
+	// reorder instants and occupancy at termination. Like Telemetry it
+	// observes only — interval streams are byte-identical with or
+	// without it — but the sideband rides into v3 log files.
+	Provenance *provenance.Collector
 }
 
 // DefaultConfig returns the paper's Table 1 recorder configuration for
@@ -384,6 +392,13 @@ type Recorder struct {
 	finalized    bool
 
 	tel recTelem
+	// prov captures the provenance sideband; nil (the default) makes
+	// every capture call a no-op.
+	prov *provenance.CoreRecorder
+	// remoteFrom is the requesting core of the coherence transaction
+	// currently being observed (-1 outside ObserveRemoteFrom), so a
+	// conflict termination can attribute the conflict to its source.
+	remoteFrom int
 	// intervalStartCycle is the cycle the current interval opened, for
 	// the interval-lifetime trace events.
 	intervalStartCycle uint64
@@ -406,11 +421,13 @@ func NewRecorder(core int, cfg Config, orderer Orderer) (*Recorder, error) {
 		}
 	}
 	r := &Recorder{
-		core:    core,
-		cfg:     cfg,
-		orderer: orderer,
-		bySeq:   make(map[uint64]*traqEntry),
-		tel:     newRecTelem(cfg.Telemetry),
+		core:       core,
+		cfg:        cfg,
+		orderer:    orderer,
+		bySeq:      make(map[uint64]*traqEntry),
+		tel:        newRecTelem(cfg.Telemetry),
+		prov:       cfg.Provenance.Core(core),
+		remoteFrom: -1,
 	}
 	if cfg.Variant == Opt {
 		r.snoop = NewSnoopTable(cfg.SnoopArrays, cfg.SnoopEntries)
@@ -619,10 +636,22 @@ func (r *Recorder) ObserveRemote(line uint64, isWrite bool, cycle uint64) (termi
 				map[string]any{"line": line, "write": isWrite, "cisn": r.cisn})
 		}
 		seq = r.cisn
-		r.terminate(cycle)
+		r.prov.NoteConflict(line, isWrite, r.remoteFrom)
+		r.terminate(cycle, provenance.CauseConflict)
 		return true, seq
 	}
 	return false, 0
+}
+
+// ObserveRemoteFrom is ObserveRemote with the requesting core made
+// explicit, so a conflict termination's provenance can name the remote
+// core. requester may be -1 when unknown; behavior is otherwise
+// identical to ObserveRemote.
+func (r *Recorder) ObserveRemoteFrom(line uint64, isWrite bool, requester int, cycle uint64) (terminated bool, seq uint64) {
+	r.remoteFrom = requester
+	terminated, seq = r.ObserveRemote(line, isWrite, cycle)
+	r.remoteFrom = -1
+	return terminated, seq
 }
 
 // CurrentISN returns the current interval sequence number.
@@ -674,8 +703,18 @@ func (r *Recorder) DirtyEvict(line uint64, directory bool, cycle uint64) {
 
 // terminate closes the current interval: the running InorderBlock is
 // flushed and an IntervalFrame with the orderer's timestamp is logged.
-func (r *Recorder) terminate(cycle uint64) {
+// cause feeds the provenance sideband only.
+func (r *Recorder) terminate(cycle uint64, cause provenance.Cause) {
 	r.flushBlock()
+	if r.prov != nil {
+		// Snapshot occupancy only when capture is on: Nonzero walks the
+		// Snoop-Table counters and must cost nothing on the default path.
+		sn := 0
+		if r.snoop != nil {
+			sn = r.snoop.Nonzero()
+		}
+		r.prov.NoteTerminate(r.cisn, cause, len(r.traq), sn, cycle)
+	}
 	r.tel.chunkSize.Observe(r.core, r.curCounted)
 	r.tel.intervals.Inc(r.core)
 	if tr := r.tel.tracer; tr != nil {
@@ -827,19 +866,20 @@ func (r *Recorder) count(e *traqEntry, cycle uint64) {
 		panic(fmt.Sprintf("core: interval offset %d overflows 16 bits", offset))
 	}
 	var kind string
+	var provKind uint8
 	switch e.kind {
 	case kindLoad:
 		r.logEntry(replaylog.Entry{Type: replaylog.ReorderedLoad, Value: e.loadVal})
 		r.Stats.ReorderedLoads++
 		r.tel.reordLoads.Inc(r.core)
-		kind = "load"
+		kind, provKind = "load", provenance.ReorderLoad
 	case kindStore:
 		r.logEntry(replaylog.Entry{
 			Type: replaylog.ReorderedStore, Addr: e.addr, Value: e.storeVal, Offset: uint16(offset),
 		})
 		r.Stats.ReorderedStores++
 		r.tel.reordStores.Inc(r.core)
-		kind = "store"
+		kind, provKind = "store", provenance.ReorderStore
 	case kindAtomic:
 		r.logEntry(replaylog.Entry{
 			Type: replaylog.ReorderedAtomic, Addr: e.addr, Value: e.loadVal,
@@ -847,8 +887,9 @@ func (r *Recorder) count(e *traqEntry, cycle uint64) {
 		})
 		r.Stats.ReorderedAtomics++
 		r.tel.reordAtomics.Inc(r.core)
-		kind = "atomic"
+		kind, provKind = "atomic", provenance.ReorderAtomic
 	}
+	r.prov.NoteReorder(provKind, uint16(offset), cycle)
 	if tr := r.tel.tracer; tr != nil {
 		tr.Instant(telemetry.PidRecord, r.core, "core", "reorder", cycle,
 			map[string]any{"kind": kind, "offset": offset, "pisn": e.pisn, "cisn": r.cisn})
@@ -859,7 +900,7 @@ func (r *Recorder) count(e *traqEntry, cycle uint64) {
 func (r *Recorder) checkSize(cycle uint64) {
 	if r.cfg.MaxIntervalInstrs > 0 && r.curCounted >= r.cfg.MaxIntervalInstrs {
 		r.Stats.SizeTerminations++
-		r.terminate(cycle)
+		r.terminate(cycle, provenance.CauseSize)
 	}
 }
 
@@ -892,7 +933,7 @@ func (r *Recorder) Finalize(cycle uint64) (replaylog.CoreLog, error) {
 	r.curCounted += uint64(len(r.pending))
 	r.Stats.Counted += uint64(len(r.pending))
 	r.pending = nil
-	r.terminate(cycle)
+	r.terminate(cycle, provenance.CauseFinal)
 	for _, pp := range r.pendingPreds {
 		if pp.seq < uint64(len(r.intervals)) {
 			iv := &r.intervals[pp.seq]

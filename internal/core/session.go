@@ -127,7 +127,7 @@ func NewSession(mcfg machine.Config, rcfg Config, w Workload) (*Session, error) 
 	}
 	directory := mcfg.Mem.Protocol == coherence.Directory
 	m.Sys.OnRemoteSnoop = func(c int, line uint64, isWrite bool, requester int, cycle uint64) {
-		terminated, seq := recs[c].ObserveRemote(line, isWrite, cycle)
+		terminated, seq := recs[c].ObserveRemoteFrom(line, isWrite, requester, cycle)
 		if terminated && requester >= 0 && requester < len(recs) {
 			// Cyrus-style dependence edge: the terminated interval of
 			// core c must replay before the requester's interval that
@@ -285,6 +285,11 @@ func (s *Session) Run() (*Result, error) {
 	if err := log.Validate(); err != nil {
 		return nil, fmt.Errorf("core: recorded log invalid: %w", err)
 	}
+	// Attach the provenance sideband after the streams are final: the
+	// snapshot describes everything the recorders terminated, including
+	// any tail a flush.crash fault truncated out of the streams — the
+	// forensic record of what was lost.
+	log.Provenance = s.rcfg.Provenance.Snapshot()
 	return res, nil
 }
 

@@ -79,6 +79,22 @@ func (t *SnoopTable) Conflicts(line uint64, saved SnoopCount) bool {
 	return true
 }
 
+// Nonzero counts counters that have observed at least one transaction
+// since construction — the occupancy figure the provenance sideband
+// snapshots at interval termination. It walks every counter, so it is
+// called only when provenance capture is enabled.
+func (t *SnoopTable) Nonzero() int {
+	n := 0
+	for a := range t.counters {
+		for _, c := range t.counters[a] {
+			if c != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // SizeBytes returns the hardware cost of the table.
 func (t *SnoopTable) SizeBytes() int {
 	n := 0

@@ -81,6 +81,12 @@ type ChaosCell struct {
 	Outcome string // one of the Outcome* classes
 	Fired   uint64 // faults actually injected in this cell
 	Detail  string // one-line cause / degradation description
+
+	// Forensics carries one structured divergence report per replay
+	// degradation of a degraded cell (a DamageReport when the cell
+	// degraded purely from log damage, with no per-core divergence to
+	// point at). Nil for non-degraded cells.
+	Forensics []*replay.DivergenceReport
 }
 
 // ChaosResult is the full matrix plus its rendered table.
@@ -276,6 +282,14 @@ func (s *Suite) chaosCell(app, point string, inj *faultinject.Injector) (cell Ch
 		// is expected, not silent.
 		cell.Outcome = OutcomeDegraded
 		cell.Detail = chaosDetail(chaosDegradeDetail(rep, unplaced, rres))
+		cell.Forensics = replay.DivergenceReports(patched, rres.Degradations, replay.ForensicsOptions{})
+		if len(cell.Forensics) == 0 {
+			// Degraded purely from log damage (dropped frames, unplaced
+			// stores): no per-core divergence exists, so attach the damage
+			// summary as the forensic record instead.
+			cell.Forensics = append(cell.Forensics,
+				replay.DamageReport(chaosDegradeDetail(rep, unplaced, rres)))
+		}
 	case verr != nil:
 		cell.Outcome = OutcomeSilent
 		cell.Detail = chaosDetail(verr.Error())

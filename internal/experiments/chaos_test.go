@@ -48,6 +48,22 @@ func TestChaosMatrixClassifiesEveryCell(t *testing.T) {
 			t.Fatalf("forbidden outcome %s at %s/%s: %s", c.Outcome, c.App, c.Point, c.Detail)
 		}
 		outcomes[c.Outcome]++
+		// Every degraded cell carries forensics; no other cell does.
+		if c.Outcome == OutcomeDegraded {
+			if len(c.Forensics) == 0 {
+				t.Fatalf("degraded cell %s/%s has no forensics", c.App, c.Point)
+			}
+			for _, rep := range c.Forensics {
+				if rep.Cause == "" {
+					t.Fatalf("cell %s/%s: forensic report with empty cause: %+v", c.App, c.Point, rep)
+				}
+				if _, err := rep.JSON(); err != nil {
+					t.Fatalf("cell %s/%s: forensics not serializable: %v", c.App, c.Point, err)
+				}
+			}
+		} else if c.Forensics != nil {
+			t.Fatalf("non-degraded cell %s/%s (%s) carries forensics", c.App, c.Point, c.Outcome)
+		}
 		if c.Point == chaosBaseline {
 			if c.Outcome != OutcomeIdentical {
 				t.Fatalf("baseline cell %s = %s (%s)", c.App, c.Outcome, c.Detail)

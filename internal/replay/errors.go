@@ -29,10 +29,18 @@ type ErrDiverged struct {
 
 func (e *ErrDiverged) Error() string {
 	if e.Interval < 0 {
-		return fmt.Sprintf("replay diverged: core %d: %v", e.Core, e.Cause)
+		// End-of-run completeness check: there is no interval (or seq)
+		// to point at — the core ran out of recorded intervals first,
+		// so say that instead of printing a meaningless "interval -1".
+		return fmt.Sprintf("replay incomplete: core %d ran out of recorded intervals before HALT: %v", e.Core, e.Cause)
 	}
 	return fmt.Sprintf("replay diverged: core %d interval %d (seq %d): %v", e.Core, e.Interval, e.Seq, e.Cause)
 }
+
+// EndOfLog reports whether this divergence is the end-of-run
+// completeness check (the log ended before the core reached HALT)
+// rather than a mismatch inside a specific interval.
+func (e *ErrDiverged) EndOfLog() bool { return e.Interval < 0 }
 
 func (e *ErrDiverged) Unwrap() error { return e.Cause }
 
@@ -48,10 +56,14 @@ type Degradation struct {
 
 func (d Degradation) String() string {
 	if d.Interval < 0 {
-		return fmt.Sprintf("core %d: %v", d.Core, d.Cause)
+		return fmt.Sprintf("core %d: recorded intervals ended before HALT: %v", d.Core, d.Cause)
 	}
 	return fmt.Sprintf("core %d interval %d (seq %d): %v", d.Core, d.Interval, d.Seq, d.Cause)
 }
+
+// EndOfLog reports whether the degradation is the end-of-run
+// completeness check rather than an in-interval mismatch.
+func (d Degradation) EndOfLog() bool { return d.Interval < 0 }
 
 // ErrStalled reports that the replay watchdog fired: the scheduler
 // stopped making progress toward HALT within its step budget (a

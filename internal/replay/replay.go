@@ -357,7 +357,10 @@ func (r *Replayer) replayInterval(core int, iv *replaylog.Interval, res *Result,
 					return errStall
 				}
 				if th.Halted {
-					return fmt.Errorf("block overruns HALT after %d of %d instructions", i, e.Size)
+					return mismatch(
+						fmt.Sprintf("%d more in-order instruction(s) in this block", e.Size-i),
+						"program already at HALT",
+						"block overruns HALT after %d of %d instructions", i, e.Size)
 				}
 				if err := th.Step(r.mem); err != nil {
 					return err
@@ -372,7 +375,10 @@ func (r *Replayer) replayInterval(core int, iv *replaylog.Interval, res *Result,
 				return err
 			}
 			if !ins.IsLoad() {
-				return fmt.Errorf("ReorderedLoad entry at non-load instruction %v", ins)
+				return mismatch(
+					"a load instruction (ReorderedLoad value injection)",
+					fmt.Sprintf("%v", ins),
+					"ReorderedLoad entry at non-load instruction %v", ins)
 			}
 			th.SetReg(ins.Rd, e.Value)
 			th.PC++
@@ -386,7 +392,10 @@ func (r *Replayer) replayInterval(core int, iv *replaylog.Interval, res *Result,
 				return err
 			}
 			if !ins.IsStore() {
-				return fmt.Errorf("Dummy entry at non-store instruction %v", ins)
+				return mismatch(
+					"a store instruction (performed earlier; skipped here)",
+					fmt.Sprintf("%v", ins),
+					"Dummy entry at non-store instruction %v", ins)
 			}
 			th.PC++
 			th.Instret++
@@ -398,7 +407,10 @@ func (r *Replayer) replayInterval(core int, iv *replaylog.Interval, res *Result,
 			r.mem.Store(e.Addr, e.Value)
 			r.tel.patchedStores.Inc(core)
 		default:
-			return fmt.Errorf("unexpected entry type %v in patched log", e.Type)
+			return mismatch(
+				"a patched-log entry (block, reordered load, dummy, patched store)",
+				fmt.Sprintf("%v entry", e.Type),
+				"unexpected entry type %v in patched log", e.Type)
 		}
 	}
 	return nil

@@ -700,6 +700,12 @@ func nameFrame(fe *FrameError, typ FrameType, body []byte) {
 		if !br.short && core < MaxCores {
 			fe.Core = int(core)
 		}
+	case FrameProvenance:
+		br.u8() // version
+		core := br.uvarint()
+		if !br.short && core < MaxCores {
+			fe.Core = int(core)
+		}
 	}
 }
 

@@ -47,6 +47,20 @@ import (
 //	end   (5): frames u32 | index offset u64 (LE; byte offset of the
 //	           index frame's sync word from the start of the file)
 //
+// A v3 file may additionally carry one provenance frame per core,
+// written between the group frames and the index footer:
+//
+//	provenance (8): ver u8 = 1 | core uvarint | count uvarint | record*
+//	record := seq uvarint | cause u8 | cycle uvarint | traq uvarint
+//	        | snoop uvarint | conflictLine uvarint | conflictWrite u8
+//	        | remoteCore svarint | nreorders uvarint | reorder*
+//	reorder := kind u8 | offset uvarint | cycle uvarint
+//
+// The frame is observational sideband: decoders that predate it (and
+// the v2 decoder, which never sees it written) skip it via the normal
+// resync path, and a future payload version is skipped cleanly by
+// matching on the leading version byte.
+//
 // A group body holds up to V3Options.GroupSize consecutive intervals
 // of one core, delta-encoded: the first interval carries absolute
 // Seq/Timestamp varints, later ones carry (strictly positive) Seq
@@ -73,6 +87,12 @@ const (
 	FrameIvGroup FrameType = 6
 	// FrameIndex is the v3 segment-index footer frame.
 	FrameIndex FrameType = 7
+	// FrameProvenance is a v3 per-core interval-provenance sideband
+	// frame (termination causes, conflict lines, reorder instants);
+	// see provenance.go for the payload layout. Self-contained and
+	// CRC32C-framed like every other frame, so DecodeRobust salvages
+	// it independently and pre-provenance decoders resync past it.
+	FrameProvenance FrameType = 8
 )
 
 func (t FrameType) String() string {
@@ -91,6 +111,8 @@ func (t FrameType) String() string {
 		return "group"
 	case FrameIndex:
 		return "index"
+	case FrameProvenance:
+		return "provenance"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }

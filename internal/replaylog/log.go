@@ -11,7 +11,11 @@
 //rrlint:deterministic
 package replaylog
 
-import "fmt"
+import (
+	"fmt"
+
+	"relaxreplay/internal/provenance"
+)
 
 // EntryType discriminates log record entries.
 type EntryType uint8
@@ -156,6 +160,15 @@ type Log struct {
 	Streams []CoreLog
 	// Inputs is the recorded input log (per core), replayed into IN.
 	Inputs [][]uint64
+
+	// Provenance is the optional flight-recorder sideband: per-core
+	// interval termination causes, conflict lines, reorder instants and
+	// occupancy snapshots, captured when recording ran with a
+	// provenance collector. Purely observational — replay ignores it —
+	// and persisted only by EncodeV3 (FrameProvenance frames); v1/v2
+	// encoders drop it, keeping those formats byte-identical to
+	// pre-provenance recordings.
+	Provenance []provenance.CoreProvenance
 }
 
 // SizeBits returns the total uncompressed log size in bits.
@@ -210,11 +223,12 @@ func (l *Log) Patch() (*Log, error) {
 		return nil, fmt.Errorf("replaylog: log already patched")
 	}
 	out := &Log{
-		Cores:   l.Cores,
-		Variant: l.Variant,
-		Patched: true,
-		Streams: make([]CoreLog, len(l.Streams)),
-		Inputs:  l.Inputs,
+		Cores:      l.Cores,
+		Variant:    l.Variant,
+		Patched:    true,
+		Streams:    make([]CoreLog, len(l.Streams)),
+		Inputs:     l.Inputs,
+		Provenance: l.Provenance,
 	}
 	for ci, s := range l.Streams {
 		ns := CoreLog{Core: s.Core, Intervals: make([]Interval, len(s.Intervals))}
@@ -266,11 +280,12 @@ func (l *Log) PatchPartial() (*Log, int, error) {
 	}
 	dropped := 0
 	out := &Log{
-		Cores:   l.Cores,
-		Variant: l.Variant,
-		Patched: true,
-		Streams: make([]CoreLog, len(l.Streams)),
-		Inputs:  l.Inputs,
+		Cores:      l.Cores,
+		Variant:    l.Variant,
+		Patched:    true,
+		Streams:    make([]CoreLog, len(l.Streams)),
+		Inputs:     l.Inputs,
+		Provenance: l.Provenance,
 	}
 	for ci, s := range l.Streams {
 		ns := CoreLog{Core: s.Core, Intervals: make([]Interval, len(s.Intervals))}

@@ -162,6 +162,13 @@ func EncodeV3With(w io.Writer, l *Log, opts V3Options) error {
 		}
 	}
 
+	// Provenance sideband, when present: after the interval groups so
+	// the index spans above are unaffected, before the index so a
+	// tail-truncated file loses the advisory frames first.
+	if err := encodeProvenanceFrames(fw, &p, l); err != nil {
+		return err
+	}
+
 	if len(spans) > MaxIndexSpans {
 		return fmt.Errorf("%w: %d index spans (limit %d)", ErrOversizeFrame, len(spans), MaxIndexSpans)
 	}
@@ -381,7 +388,7 @@ func decodeV3(data []byte, workers int) (*Log, *CorruptionReport, error) {
 		typ := FrameType(data[pos+4])
 		length := binary.LittleEndian.Uint32(data[pos+5 : pos+9])
 		end := pos + 9 + int(length) + 4
-		if typ < FrameHeader || typ > FrameIndex || length > MaxFrameLen || end > len(data) {
+		if typ < FrameHeader || typ > FrameProvenance || length > MaxFrameLen || end > len(data) {
 			pos++
 			rep.BytesSkipped++
 			continue
@@ -492,6 +499,23 @@ func decodeV3(data []byte, workers int) (*Log, *CorruptionReport, error) {
 		case FrameIndex:
 			// Advisory footer for OpenIndexed; the linear decoder has
 			// no use for it beyond counting the frame.
+		case FrameProvenance:
+			ver := br.u8()
+			switch {
+			case br.short:
+				drop("short provenance frame")
+			case ver != provVersion:
+				// A future payload revision: already counted as an
+				// encountered frame, skipped without a report so the
+				// decode stays clean.
+			default:
+				core, recs, reason := decodeProvenanceBody(br)
+				if reason != "" {
+					drop(reason)
+				} else {
+					attachProvenance(l, core, recs)
+				}
+			}
 		case FrameEnd:
 			n := br.u32() // the trailing index offset is OpenIndexed's
 			switch {

@@ -119,3 +119,85 @@ func Ratio(a, b float64) float64 {
 	}
 	return a / b
 }
+
+// Histogram is a power-of-2 bucketed histogram of non-negative
+// integer observations: bucket 0 holds value 0, bucket 1 holds 1,
+// bucket k (k >= 2) holds [2^(k-1), 2^k - 1]. Interval sizes and gap
+// lengths span orders of magnitude; log buckets keep the table short
+// while preserving the shape.
+type Histogram struct {
+	buckets []uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v uint64) {
+	b := 0
+	for x := v; x > 0; x >>= 1 {
+		b++
+	}
+	// b is now bit-length: 0 for v=0, 1 for v=1, k for [2^(k-1), 2^k-1].
+	for len(h.buckets) <= b {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// BucketLabel renders bucket b's value range: "0", "1", "2-3", "4-7", ...
+func BucketLabel(b int) string {
+	if b <= 1 {
+		return fmt.Sprintf("%d", b)
+	}
+	lo := uint64(1) << (b - 1)
+	return fmt.Sprintf("%d-%d", lo, lo*2-1)
+}
+
+// Rows appends one table row per non-empty leading range of buckets:
+// label, count, percentage, and a proportional bar. Trailing empty
+// buckets are not rendered.
+func (h *Histogram) Rows(t *Table) {
+	if h.count == 0 {
+		return
+	}
+	var peak uint64
+	for _, n := range h.buckets {
+		if n > peak {
+			peak = n
+		}
+	}
+	for b, n := range h.buckets {
+		bar := ""
+		if n > 0 {
+			w := int(n * 40 / peak)
+			if w == 0 {
+				w = 1
+			}
+			bar = strings.Repeat("#", w)
+		}
+		t.AddRow(BucketLabel(b), fmt.Sprintf("%d", n), Pct(float64(n)/float64(h.count), 1), bar)
+	}
+}

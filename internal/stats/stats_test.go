@@ -100,3 +100,60 @@ func TestSortRowsStable(t *testing.T) {
 		t.Error("second SortRows changed the order of equal-keyed rows")
 	}
 }
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, v := range []uint64{0, 1, 1, 2, 3, 4, 7, 8, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 || h.Sum() != 126 || h.Max() != 100 {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	if h.Mean() != 14 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	// Bucket boundaries: 0 | 1 | 2-3 | 4-7 | 8-15 | ... | 64-127.
+	want := map[string]string{"0": "1", "1": "2", "2-3": "2", "4-7": "2", "8-15": "1", "64-127": "1"}
+	tb := NewTable("", "bucket", "n", "pct", "")
+	h.Rows(tb)
+	out := tb.String()
+	for label, n := range want {
+		if !strings.Contains(out, label) {
+			t.Fatalf("missing bucket %q:\n%s", label, out)
+		}
+		_ = n
+	}
+	if tb.Rows() != 8 { // buckets 0..7 (64-127 is bit-length 7)
+		t.Fatalf("rows = %d:\n%s", tb.Rows(), out)
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	for b, want := range []string{"0", "1", "2-3", "4-7", "8-15", "16-31"} {
+		if got := BucketLabel(b); got != want {
+			t.Fatalf("BucketLabel(%d) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+// An empty histogram adds no rows; a single-bucket histogram renders a
+// full-width bar.
+func TestHistogramRowsEdges(t *testing.T) {
+	tb := NewTable("", "bucket", "n", "pct", "")
+	(&Histogram{}).Rows(tb)
+	if tb.Rows() != 0 {
+		t.Fatal("empty histogram rendered rows")
+	}
+	var h Histogram
+	h.Observe(5)
+	h.Rows(tb)
+	if tb.Rows() != 4 { // buckets 0, 1, 2-3, 4-7
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	if !strings.Contains(tb.String(), strings.Repeat("#", 40)) {
+		t.Fatalf("peak bucket bar not full width:\n%s", tb.String())
+	}
+}

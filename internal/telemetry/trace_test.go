@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -49,6 +50,83 @@ func TestTracerEventsDeterministicOrder(t *testing.T) {
 	// counter sample (tid 1).
 	if evs[2].Name != "early" || evs[3].Name != "rob[c1]" {
 		t.Fatalf("tie-break order wrong: %q then %q", evs[2].Name, evs[3].Name)
+	}
+}
+
+// TestTracerConcurrentInstants hammers one Tracer from many goroutines
+// (run under -race in CI's race-short list) and checks that no event is
+// lost: the per-shard buffers must serialize concurrent emitters.
+func TestTracerConcurrentInstants(t *testing.T) {
+	const goroutines = 8
+	const perGoroutine = 200
+	tr := NewTracer(4)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				switch i % 3 {
+				case 0:
+					tr.Instant(PidRecord, tid, "core", "terminate", uint64(i), nil)
+				case 1:
+					tr.Complete(PidRecord, tid, "core", "interval", uint64(i), uint64(i+5), nil)
+				case 2:
+					tr.Counter(PidRecord, tid, "cpu", "rob", uint64(i), uint64(tid))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != goroutines*perGoroutine {
+		t.Fatalf("got %d events, want %d (concurrent emits dropped)", len(evs), goroutines*perGoroutine)
+	}
+	perTid := map[int]int{}
+	for _, ev := range evs {
+		perTid[ev.Tid]++
+	}
+	for g := 0; g < goroutines; g++ {
+		if perTid[g] != perGoroutine {
+			t.Fatalf("tid %d kept %d events, want %d", g, perTid[g], perGoroutine)
+		}
+	}
+}
+
+// TestWriteChromeDeterministicAcrossSchedules pins the regression that
+// the serialized trace is independent of goroutine scheduling: two
+// tracers fed the same logical workload from concurrently-racing
+// goroutines (and with different shard counts, so shard assignment
+// differs too) must serialize byte-identically.
+func TestWriteChromeDeterministicAcrossSchedules(t *testing.T) {
+	build := func(shards int) []byte {
+		tr := NewTracer(shards)
+		tr.NameProcess(PidRecord, "record machine")
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					ts := uint64(i*10 + tid)
+					tr.Instant(PidRecord, tid, "core", "terminate", ts, map[string]any{"seq": i})
+					tr.Complete(PidReplay, tid, "replay", "interval", ts, ts+4, nil)
+				}
+			}(g)
+		}
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		return buf.Bytes()
+	}
+	first := build(1)
+	for _, shards := range []int{2, 8} {
+		if got := build(shards); !bytes.Equal(got, first) {
+			t.Fatalf("trace JSON differs between %d-shard and 1-shard runs:\n%s\nvs\n%s",
+				shards, got, first)
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"relaxreplay/internal/faultinject"
 	"relaxreplay/internal/isa"
 	"relaxreplay/internal/machine"
+	"relaxreplay/internal/provenance"
 	"relaxreplay/internal/replay"
 	"relaxreplay/internal/replaylog"
 	"relaxreplay/internal/telemetry"
@@ -173,6 +174,15 @@ type Config struct {
 	// or produce an incomplete log — never silently wrong output. nil
 	// keeps the simulation fully deterministic.
 	Faults *FaultInjector
+
+	// Provenance, when non-nil, captures per-interval provenance during
+	// recording (why each interval terminated, conflict addresses and
+	// remote cores, reorder instants, queue occupancy) as a sideband on
+	// the log. It observes only: the interval log is byte-identical with
+	// or without it, and nil costs nothing on the recording hot path.
+	// The sideband is persisted by WriteLogV3 and read back by every
+	// decode path; rrtrace and divergence forensics consume it.
+	Provenance *ProvenanceCollector
 }
 
 // DefaultConfig returns the paper's default setup: 8 cores, snoopy
@@ -250,8 +260,26 @@ func (c Config) recorderConfig() core.Config {
 	}
 	r.Telemetry = c.Telemetry
 	r.Faults = c.Faults
+	r.Provenance = c.Provenance
 	return r
 }
+
+// ProvenanceCollector gathers the per-interval provenance sideband
+// during recording; see internal/provenance. Place one in
+// Config.Provenance to enable capture. A nil collector disables
+// capture at zero cost.
+type ProvenanceCollector = provenance.Collector
+
+// NewProvenanceCollector builds a collector for Config.Provenance.
+func NewProvenanceCollector() *ProvenanceCollector { return provenance.NewCollector() }
+
+// CoreProvenance is one core's captured provenance stream.
+type CoreProvenance = provenance.CoreProvenance
+
+// ProvenanceRecord is the provenance of one recorded interval: its
+// termination cause, conflict address and remote core, reorder
+// instants, and queue occupancy at termination.
+type ProvenanceRecord = provenance.Record
 
 // Program is a fully-built instruction sequence for one hardware thread.
 type Program = isa.Program
@@ -343,6 +371,10 @@ func (r *Recording) FinalMemory() map[uint64]uint64 {
 	}
 	return out
 }
+
+// Provenance returns the captured per-interval provenance sideband,
+// or nil when the recording ran without a Config.Provenance collector.
+func (r *Recording) Provenance() []CoreProvenance { return r.res.Log.Provenance }
 
 // WriteLog serializes the raw log (with the recorded input streams) to
 // w, in the checksummed v2 framing.
@@ -455,6 +487,33 @@ type Degradation = replay.Degradation
 // execution stopped matching the log (errors.As-matchable as
 // *DivergedError). Interval -1 means a core ended before HALT.
 type DivergedError = replay.ErrDiverged
+
+// DivergenceReport is the structured forensic record of one replay
+// divergence or degradation: the mismatch's expected and actual sides,
+// the context window of preceding intervals across cores, and (when
+// the log carries a provenance sideband) why the diverged interval
+// terminated during recording. Serialize with its JSON method.
+type DivergenceReport = replay.DivergenceReport
+
+// DivergenceForensics builds one DivergenceReport per degradation of a
+// partial replay against the log it ran on (patching it first if
+// needed, as ReplayLogPartialWith did). This is the report rrreplay
+// -forensics writes.
+func DivergenceForensics(log *Log, degs []Degradation) []*DivergenceReport {
+	patched := log
+	if !log.Patched {
+		if p, _, err := log.PatchPartial(); err == nil {
+			patched = p
+		}
+	}
+	return replay.DivergenceReports(patched, degs, replay.ForensicsOptions{})
+}
+
+// DamageForensics synthesizes a DivergenceReport for log damage with
+// no replay-side divergence to point at (dropped frames, unplaceable
+// stores): replay stayed on its surviving streams, so the damage
+// summary itself is the forensic record.
+func DamageForensics(detail string) *DivergenceReport { return replay.DamageReport(detail) }
 
 // StalledError is the typed failure of a replay whose watchdog step
 // budget ran out; its Report pins down where every core was.
