@@ -75,6 +75,13 @@ func main() {
 	if st, err := f.Stat(); err == nil {
 		size = st.Size()
 	}
+	// An rrproc journal ("RRJL") holds many sessions' logs, not one
+	// log; pointing rrlog at it is a common fleet-workflow slip that
+	// deserves a road sign rather than a resync-scan corruption report.
+	var magic [4]byte
+	if n, _ := f.ReadAt(magic[:], 0); n == 4 && string(magic[:]) == "RRJL" {
+		fatal(fmt.Errorf("%s is an rrproc journal, not a log file; list its sessions with `rrproc -journal %s -query`, then extract one with `rrproc -journal %s -export <id> -o <file>` and rerun rrlog on that", *logPath, *logPath, *logPath))
+	}
 
 	if *seek != "" {
 		var core int

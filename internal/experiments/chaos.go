@@ -118,6 +118,12 @@ func (s *Suite) ChaosMatrix(inj *faultinject.Injector) (*ChaosResult, error) {
 	}
 	var points []faultinject.Point
 	for _, p := range faultinject.Points() {
+		// net.* points only fire inside the streaming transport; in this
+		// file-based matrix they would produce all-baseline cells. They
+		// get their own grid: NetChaosGrid.
+		if faultinject.IsNetPoint(p) {
+			continue
+		}
 		if inj.Enabled(p) {
 			points = append(points, p)
 		}

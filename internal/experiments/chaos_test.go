@@ -35,7 +35,8 @@ func TestChaosMatrixClassifiesEveryCell(t *testing.T) {
 		}
 		t.Fatal(err)
 	}
-	wantCells := len(s.Apps()) * (1 + len(faultinject.Points()))
+	// net.* points belong to NetChaosGrid, not the file-based matrix.
+	wantCells := len(s.Apps()) * (1 + len(faultinject.Points()) - len(faultinject.NetPoints()))
 	if len(res.Cells) != wantCells {
 		t.Fatalf("cells = %d, want %d", len(res.Cells), wantCells)
 	}

@@ -46,6 +46,15 @@ const (
 	FlushCrash    Point = "flush.crash"    // recorder crash before the final log flush
 	ICDelay       Point = "ic.delay"       // interconnect message injection delayed
 	ICDrop        Point = "ic.drop"        // one interconnect message silently dropped
+
+	// Network stream faults, consulted by the rrnet fault transport
+	// (internal/rrnet.WrapFaultConn) once per wire frame written. They
+	// attack the live rrd→rrproc stream rather than log bytes at rest.
+	NetDrop    Point = "net.drop"         // one wire frame silently vanishes in transit
+	NetDelay   Point = "net.delay"        // a wire frame's delivery is delayed
+	NetReset   Point = "net.reset"        // the connection is reset mid-stream
+	NetPartial Point = "net.partial"      // the connection dies mid-frame (a prefix was delivered)
+	NetReorder Point = "net.reorder-conn" // adjacent wire frames are delivered out of order
 )
 
 // Points returns every known fault point in deterministic order.
@@ -53,7 +62,26 @@ func Points() []Point {
 	return []Point{
 		LogBitFlip, LogTruncate, LogShortWrite, LogShortRead,
 		LogDupFrame, FlushCrash, ICDelay, ICDrop,
+		NetDrop, NetDelay, NetReset, NetPartial, NetReorder,
 	}
+}
+
+// NetPoints returns the network-stream subset of the registry: the
+// points the rrnet fault transport consults. The file-oriented chaos
+// matrix excludes them (they never fire without a live stream) and the
+// rrd/rrproc chaos grid is built from them.
+func NetPoints() []Point {
+	return []Point{NetDrop, NetDelay, NetReset, NetPartial, NetReorder}
+}
+
+// IsNetPoint reports whether p is one of the network-stream points.
+func IsNetPoint(p Point) bool {
+	for _, q := range NetPoints() {
+		if p == q {
+			return true
+		}
+	}
+	return false
 }
 
 // pointCfg is the static firing policy of one point. One-shot points
@@ -80,6 +108,14 @@ func defaultCfg(p Point) pointCfg {
 		return pointCfg{oneShot: true, horizon: 2048}
 	case FlushCrash:
 		return pointCfg{oneShot: true, horizon: 1}
+	case NetDelay:
+		// Per-frame delivery delay: frequent, only perturbs timing.
+		return pointCfg{prob: 1.0 / 8}
+	case NetDrop, NetReset, NetPartial, NetReorder:
+		// One hit somewhere in the first frames of a stream: small
+		// sessions still see the fault, and the retry/resume machinery
+		// has a realistic mid-stream incident to recover from.
+		return pointCfg{oneShot: true, horizon: 64}
 	default: // log.* byte faults: one consultation per encode
 		return pointCfg{oneShot: true, horizon: 1}
 	}

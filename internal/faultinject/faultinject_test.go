@@ -241,3 +241,34 @@ func TestPointsParseRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestNetPointsRegistered pins the net.* transport points into the
+// registry contract: every NetPoints() entry is a registered Point
+// (so the round-trip above covers it), IsNetPoint agrees with the
+// slice in both directions, and the names carry the net. prefix the
+// chaos grid's Restrict labels rely on.
+func TestNetPointsRegistered(t *testing.T) {
+	all := make(map[Point]bool)
+	for _, p := range Points() {
+		all[p] = true
+	}
+	if len(NetPoints()) == 0 {
+		t.Fatal("NetPoints() is empty")
+	}
+	for _, p := range NetPoints() {
+		if !all[p] {
+			t.Errorf("net point %q missing from Points()", p)
+		}
+		if !IsNetPoint(p) {
+			t.Errorf("IsNetPoint(%q) = false for a NetPoints() entry", p)
+		}
+		if !strings.HasPrefix(string(p), "net.") {
+			t.Errorf("net point %q lacks the net. prefix", p)
+		}
+	}
+	for _, p := range Points() {
+		if IsNetPoint(p) != strings.HasPrefix(string(p), "net.") {
+			t.Errorf("IsNetPoint(%q) disagrees with the net. prefix", p)
+		}
+	}
+}

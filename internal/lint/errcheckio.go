@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // errcheck-io: errors on the log write path must not be discarded.
@@ -11,8 +12,14 @@ import (
 // a silently truncated log — the one failure mode the robustness PR
 // forbids. Flagged: a call whose error result is discarded (expression
 // statement, or assigned to _) when the callee is (a) any function of
-// package replaylog returning an error, or (b) any Flush method
-// returning an error (bufio.Writer and friends).
+// package replaylog returning an error, (b) any Flush method returning
+// an error (bufio.Writer and friends), or (c) Close / SetDeadline /
+// SetReadDeadline / SetWriteDeadline on a net.Conn-shaped receiver.
+// A dropped Close on a socket hides the write error TCP only surfaces
+// at close time; a dropped SetDeadline means the daemon's frame
+// timeouts silently never arm. The receiver must carry net.Conn's
+// full method set (including LocalAddr/RemoteAddr), so *os.File —
+// which also has Close and the deadline setters — stays unflagged.
 
 var errcheckIOCheck = &Check{
 	Name: "errcheck-io",
@@ -59,7 +66,64 @@ func ioErrCall(pkg *Package, call *ast.CallExpr) string {
 	if obj.Name() == "Flush" && isMethod(obj) {
 		return recvTypeName(obj) + ".Flush"
 	}
+	if connErrMethods[obj.Name()] && isMethod(obj) && isConnShaped(recvType(obj)) {
+		return recvTypeName(obj) + "." + obj.Name()
+	}
 	return ""
+}
+
+// connErrMethods are the error-returning net.Conn methods whose
+// dropped errors the check flags. Read/Write are excluded: their
+// errors flow through io plumbing that other code already checks.
+var connErrMethods = map[string]bool{
+	"Close":            true,
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// connShape is net.Conn's full method set. Requiring all of it —
+// LocalAddr and RemoteAddr included — is what distinguishes a socket
+// from *os.File, which shares Close and the three deadline setters.
+var connShape = []string{
+	"Read", "Write", "Close", "LocalAddr", "RemoteAddr",
+	"SetDeadline", "SetReadDeadline", "SetWriteDeadline",
+}
+
+// recvType returns a method's receiver type, nil for non-methods.
+func recvType(obj types.Object) types.Type {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// isConnShaped reports whether t's method set covers all of net.Conn.
+// The check is structural (names only, via the pointer method set for
+// concrete types), so it catches net.Conn itself, *net.TCPConn, and
+// this repo's fault-injecting wrappers without the lint tool importing
+// package net.
+func isConnShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	if _, isIface := t.Underlying().(*types.Interface); !isIface {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	for _, name := range connShape {
+		if ms.Lookup(nil, name) == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // checkAssignDiscard flags `_ = replaylog.Encode(...)` and

@@ -28,11 +28,14 @@ import (
 // "log.intervals" — are exempt from the sweep.
 
 // faultPointShape matches a fault-point-name-looking token: one of
-// the known family prefixes, a dot, and a lowercase word.
-var faultPointShape = regexp.MustCompile(`^(log|ic|flush)\.[a-z][a-z0-9]*$`)
+// the known family prefixes, a dot, and a lowercase word (hyphens
+// allowed: net.reorder-conn). The net family only matches lowercase
+// tails, so ordinary package-net identifiers in prose (net.Conn,
+// net.Pipe) stay out of the sweep.
+var faultPointShape = regexp.MustCompile(`^(log|ic|flush|net)\.[a-z][a-z0-9-]*[a-z0-9]$|^(log|ic|flush|net)\.[a-z]$`)
 
 // faultPointInText finds point-shaped tokens inside prose (comments).
-var faultPointInText = regexp.MustCompile(`\b(log|ic|flush)\.[a-z][a-z0-9]*\b`)
+var faultPointInText = regexp.MustCompile(`\b(log|ic|flush|net)\.[a-z][a-z0-9-]*[a-z0-9]\b|\b(log|ic|flush|net)\.[a-z]\b`)
 
 var faultpointCheck = &Check{
 	Name: "faultpoint",

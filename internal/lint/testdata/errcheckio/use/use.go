@@ -5,6 +5,9 @@ package use
 import (
 	"bufio"
 	"io"
+	"net"
+	"os"
+	"time"
 
 	"relaxreplay/internal/lint/testdata/errcheckio/replaylog"
 )
@@ -36,4 +39,44 @@ func Clean(w io.Writer, l *replaylog.Log) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// DropConn discards net.Conn errors every way the daemons could.
+func DropConn(c net.Conn) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	_ = c.SetReadDeadline(time.Time{})
+	defer c.Close()
+	go c.SetWriteDeadline(time.Time{})
+}
+
+// wrapConn is a conn wrapper like the fault-injecting transport: it
+// carries net.Conn's full method set, so its Close is flagged too.
+type wrapConn struct {
+	net.Conn
+}
+
+// DropWrapped drops a Close error through the wrapper type.
+func DropWrapped(c *wrapConn) {
+	c.Close()
+}
+
+// FileNotConn proves the shape test: *os.File has Close and the three
+// deadline setters but no LocalAddr/RemoteAddr, so none of this is
+// flagged.
+func FileNotConn(f *os.File) {
+	f.SetDeadline(time.Now())
+	f.Close()
+}
+
+// BestEffortConn drops a Close deliberately, with the reasoning.
+func BestEffortConn(c net.Conn) {
+	_ = c.Close() //rrlint:allow errcheck-io -- fixture: teardown on an already-failed conn
+}
+
+// CleanConn handles the conn errors.
+func CleanConn(c net.Conn) error {
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	return c.Close()
 }

@@ -1,0 +1,748 @@
+package rrnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relaxreplay/internal/faultinject"
+)
+
+// fastClient returns ClientOptions tuned for test speed: millisecond
+// backoffs, small chunks, tight stall detection.
+func fastClient(addr string) ClientOptions {
+	return ClientOptions{
+		Addr:           addr,
+		Tenant:         "test",
+		ChunkSize:      512,
+		Window:         8,
+		MaxRetries:     6,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffCap:     20 * time.Millisecond,
+		DialTimeout:    500 * time.Millisecond,
+		FrameTimeout:   2 * time.Second,
+		HeartbeatEvery: 100 * time.Millisecond,
+		AckStall:       300 * time.Millisecond,
+		Seed:           42,
+	}
+}
+
+func fastServer(journal string) ServerOptions {
+	return ServerOptions{
+		Addr:            "127.0.0.1:0",
+		JournalPath:     journal,
+		MaxSessions:     8,
+		ReorderWindow:   16,
+		FrameTimeout:    2 * time.Second,
+		DrainTimeout:    2 * time.Second,
+		FsyncEveryBytes: 4 << 10,
+	}
+}
+
+// startServer builds a server on an ephemeral port and serves it in
+// the background; returns the server and its dial address.
+func startServer(t *testing.T, opts ServerOptions) (*Server, string) {
+	t.Helper()
+	s, err := NewServer(opts, nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		if err := s.Serve(ln); err != nil {
+			t.Logf("serve: %v", err)
+		}
+	}()
+	return s, ln.Addr().String()
+}
+
+// testPayload builds deterministic pseudo-random bytes.
+func testPayload(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	state := seed
+	for i := range out {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		out[i] = byte(z ^ (z >> 31))
+	}
+	return out
+}
+
+// streamAll writes payload through the session in uneven pieces.
+func streamAll(t *testing.T, sw *SessionWriter, payload []byte) {
+	t.Helper()
+	step := 700 // deliberately not a chunk multiple
+	for off := 0; off < len(payload); off += step {
+		end := min(off+step, len(payload))
+		if _, err := sw.Write(payload[off:end]); err != nil {
+			t.Fatalf("Write at %d: %v", off, err)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	base := fastClient("x:1")
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid client options rejected: %v", err)
+	}
+	clientCases := map[string]func(*ClientOptions){
+		"empty addr":       func(o *ClientOptions) { o.Addr = "" },
+		"negative chunk":   func(o *ClientOptions) { o.ChunkSize = -1 },
+		"oversize chunk":   func(o *ClientOptions) { o.ChunkSize = MaxWirePayload },
+		"negative window":  func(o *ClientOptions) { o.Window = -3 },
+		"negative retries": func(o *ClientOptions) { o.MaxRetries = -1 },
+		"negative backoff": func(o *ClientOptions) { o.BackoffBase = -time.Second },
+		"cap below base":   func(o *ClientOptions) { o.BackoffBase = time.Second; o.BackoffCap = time.Millisecond },
+		"negative timeout": func(o *ClientOptions) { o.FrameTimeout = -1 },
+		"negative grace":   func(o *ClientOptions) { o.DropGrace = -time.Millisecond },
+		"bogus policy":     func(o *ClientOptions) { o.Policy = BackpressurePolicy(9) },
+		"spill without dir": func(o *ClientOptions) {
+			o.Policy = Spill
+			o.SpillDir = ""
+		},
+	}
+	for name, mutate := range clientCases {
+		o := base
+		mutate(&o)
+		if err := o.Validate(); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("client %s: want ErrBadOptions, got %v", name, err)
+		}
+	}
+
+	sbase := fastServer("/tmp/j")
+	if err := sbase.Validate(); err != nil {
+		t.Fatalf("valid server options rejected: %v", err)
+	}
+	serverCases := map[string]func(*ServerOptions){
+		"empty addr":        func(o *ServerOptions) { o.Addr = "" },
+		"empty journal":     func(o *ServerOptions) { o.JournalPath = "" },
+		"negative sessions": func(o *ServerOptions) { o.MaxSessions = -1 },
+		"negative reorder":  func(o *ServerOptions) { o.ReorderWindow = -1 },
+		"negative fsync":    func(o *ServerOptions) { o.FsyncEveryBytes = -1 },
+		"negative drain":    func(o *ServerOptions) { o.DrainTimeout = -time.Second },
+	}
+	for name, mutate := range serverCases {
+		o := sbase
+		mutate(&o)
+		if err := o.Validate(); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("server %s: want ErrBadOptions, got %v", name, err)
+		}
+	}
+}
+
+func TestParseBackpressure(t *testing.T) {
+	for _, want := range []BackpressurePolicy{Block, Drop, Spill} {
+		got, err := ParseBackpressure(want.String())
+		if err != nil || got != want {
+			t.Errorf("round-trip %v: got %v, %v", want, got, err)
+		}
+	}
+	if _, err := ParseBackpressure("shed"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestFrameResync proves the wire reader skips garbage and corrupt
+// frames and still delivers the intact ones — the same salvage
+// discipline as the log decoder.
+func TestFrameResync(t *testing.T) {
+	var stream []byte
+	stream = append(stream, []byte("leading garbage")...)
+	stream = appendFrame(stream, MsgHeartbeat, encodeNonce(7))
+	stream = append(stream, 0xF5, 'R', 'F') // sync-word prefix tease
+	corrupt := appendFrame(nil, MsgChunk, encodeChunk(chunkMsg{Session: 1, Seq: 0, Data: []byte("x")}))
+	corrupt[len(corrupt)-1] ^= 0xFF // break the CRC
+	stream = append(stream, corrupt...)
+	stream = appendFrame(stream, MsgAck, encodeAck(ackMsg{Session: 1, Contig: 5, Durable: 3}))
+
+	fr := newFrameReader(bytes.NewReader(stream), 0)
+	tp, payload, err := fr.next()
+	if err != nil || tp != MsgHeartbeat {
+		t.Fatalf("first frame: %v %v", tp, err)
+	}
+	if n, ok := decodeNonce(payload); !ok || n != 7 {
+		t.Fatalf("nonce: %d %v", n, ok)
+	}
+	tp, payload, err = fr.next()
+	if err != nil || tp != MsgAck {
+		t.Fatalf("second frame: %v %v", tp, err)
+	}
+	if m, ok := decodeAck(payload); !ok || m.Contig != 5 || m.Durable != 3 {
+		t.Fatalf("ack: %+v %v", m, ok)
+	}
+	if fr.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1 (the corrupted chunk)", fr.Dropped)
+	}
+	if fr.Skipped == 0 {
+		t.Error("Skipped = 0, want > 0 (the leading garbage)")
+	}
+	if _, _, err := fr.next(); err == nil {
+		t.Error("expected EOF-ish error at stream end")
+	}
+}
+
+// TestEndToEnd is the happy path: one session over real TCP, journal
+// holds byte-identical content, verdict is identical.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "j.rrjl")
+	s, addr := startServer(t, fastServer(jpath))
+
+	c, err := NewClient(fastClient(addr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(20<<10, 1)
+	sw, err := c.OpenSession(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamAll(t, sw, payload)
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if res := sw.Result(); res.Status != StatusOK {
+		t.Fatalf("status = %d (%s), want OK", res.Status, res.Reason)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := v.Sessions[100]
+	if sess == nil {
+		t.Fatal("session 100 missing from journal")
+	}
+	if err := sess.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sess.Data, payload) {
+		t.Fatalf("journal bytes differ: %d vs %d", len(sess.Data), len(payload))
+	}
+	if v.TornTail || v.DroppedFrames != 0 || v.SkippedBytes != 0 {
+		t.Errorf("unexpected salvage: %+v", v)
+	}
+}
+
+// TestConcurrentSessions multiplexes two tenants into one journal.
+func TestConcurrentSessions(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	s, addr := startServer(t, fastServer(jpath))
+
+	payloads := map[uint64][]byte{
+		201: testPayload(16<<10, 11),
+		202: testPayload(24<<10, 22),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(payloads))
+	for id, payload := range payloads {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := NewClient(fastClient(addr), nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			sw, err := c.OpenSession(id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for off := 0; off < len(payload); off += 900 {
+				end := min(off+900, len(payload))
+				if _, err := sw.Write(payload[off:end]); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := sw.Close(); err != nil {
+				errs <- err
+				return
+			}
+			if res := sw.Result(); res.Status != StatusOK {
+				errs <- fmt.Errorf("session %d: status %d (%s)", id, res.Status, res.Reason)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, payload := range payloads {
+		sess := v.Sessions[id]
+		if sess == nil {
+			t.Fatalf("session %d missing", id)
+		}
+		if err := sess.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sess.Data, payload) {
+			t.Fatalf("session %d bytes differ", id)
+		}
+	}
+}
+
+// TestResumeAfterConnCut severs the connection mid-stream; the client
+// must reconnect, resume from the server's contig, and still land an
+// identical session.
+func TestResumeAfterConnCut(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	s, addr := startServer(t, fastServer(jpath))
+
+	c, err := NewClient(fastClient(addr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur atomic.Pointer[net.Conn]
+	base := c.Dial
+	c.Dial = func(a string, d time.Duration) (net.Conn, error) {
+		nc, err := base(a, d)
+		if err == nil {
+			cur.Store(&nc)
+		}
+		return nc, err
+	}
+	sw, err := c.OpenSession(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(32<<10, 3)
+	half := len(payload) / 2
+	streamAll(t, sw, payload[:half])
+	if ncp := cur.Load(); ncp != nil {
+		closeConn(*ncp) // sever mid-session
+	}
+	streamAll(t, sw, payload[half:])
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close after cut: %v", err)
+	}
+	if res := sw.Result(); res.Status != StatusOK {
+		t.Fatalf("status = %d (%s), want OK after resume", res.Status, res.Reason)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Sessions[300].Data, payload) {
+		t.Fatal("resumed session bytes differ")
+	}
+}
+
+// TestSilentDropRecovered injects net.drop (a frame vanishes with a
+// fake success) and proves the ack-stall machinery re-delivers it —
+// the one failure no error path can catch.
+func TestSilentDropRecovered(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	s, addr := startServer(t, fastServer(jpath))
+
+	inj := faultinject.New(99, faultinject.NetDrop)
+	inj.ArmWithin(faultinject.NetDrop, 20) // land inside the stream
+
+	c, err := NewClient(fastClient(addr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := c.Dial
+	c.Dial = func(a string, d time.Duration) (net.Conn, error) {
+		nc, err := base(a, d)
+		if err != nil {
+			return nil, err
+		}
+		return WrapFaultConn(nc, inj), nil
+	}
+	sw, err := c.OpenSession(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(24<<10, 4)
+	streamAll(t, sw, payload)
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if res := sw.Result(); res.Status != StatusOK {
+		t.Fatalf("status = %d (%s), want OK (drop must be re-delivered)", res.Status, res.Reason)
+	}
+	if n := inj.Counts()[faultinject.NetDrop]; n != 1 {
+		t.Fatalf("net.drop fired %d times, want exactly 1", n)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Sessions[400].Data, payload) {
+		t.Fatal("session bytes differ after drop recovery")
+	}
+}
+
+// TestDropPolicyDegrades pairs a deliberately slow consumer with the
+// Drop policy: the client sheds chunks, reports them, and the server
+// classifies the session degraded-with-report — never silently short.
+func TestDropPolicyDegrades(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	sopts := fastServer(jpath)
+	sopts.SlowConsumer = 30 * time.Millisecond
+	s, addr := startServer(t, sopts)
+
+	copts := fastClient(addr)
+	copts.Policy = Drop
+	copts.Window = 2
+	c, err := NewClient(copts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := c.OpenSession(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(16<<10, 5)
+	streamAll(t, sw, payload)
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res := sw.Result()
+	if res.Dropped == 0 {
+		t.Skip("consumer fast enough that nothing was shed; nothing to assert")
+	}
+	if res.Status != StatusDegraded {
+		t.Fatalf("status = %d (%s), want degraded with %d drops", res.Status, res.Reason, res.Dropped)
+	}
+	if res.Missing != res.Dropped {
+		t.Errorf("Missing = %d, want %d (every shed chunk reported)", res.Missing, res.Dropped)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := v.Sessions[500]
+	if sess.Status != StatusDegraded {
+		t.Errorf("journal status = %d, want degraded", sess.Status)
+	}
+	if err := sess.Verify(); err == nil {
+		t.Error("Verify must refuse a degraded session")
+	}
+}
+
+// TestSpillPolicyStaysIdentical pairs the slow consumer with Spill:
+// nothing is shed, the overflow transits the spill file, and the
+// session still commits identical.
+func TestSpillPolicyStaysIdentical(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "j.rrjl")
+	sopts := fastServer(jpath)
+	sopts.SlowConsumer = 10 * time.Millisecond
+	s, addr := startServer(t, sopts)
+
+	copts := fastClient(addr)
+	copts.Policy = Spill
+	copts.SpillDir = dir
+	copts.Window = 2
+	c, err := NewClient(copts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := c.OpenSession(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(12<<10, 6)
+	streamAll(t, sw, payload)
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res := sw.Result()
+	if res.Status != StatusOK {
+		t.Fatalf("status = %d (%s), want OK", res.Status, res.Reason)
+	}
+	if res.Spilled == 0 {
+		t.Error("expected some chunks to transit the spill file")
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Sessions[600].Data, payload) {
+		t.Fatal("spilled session bytes differ")
+	}
+	// The spill temp file must be gone.
+	matches, err := filepath.Glob(filepath.Join(dir, "rrd-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("spill files left behind: %v", matches)
+	}
+}
+
+// TestMaxSessionsReject: the N+1th tenant is refused cleanly.
+func TestMaxSessionsReject(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	sopts := fastServer(jpath)
+	sopts.MaxSessions = 1
+	s, addr := startServer(t, sopts)
+	defer shutdownQuiet(s)
+
+	c, err := NewClient(fastClient(addr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := c.OpenSession(700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeQuiet(sw)
+	if _, err := c.OpenSession(701); !errors.Is(err, ErrRejected) {
+		t.Fatalf("second session: want ErrRejected, got %v", err)
+	}
+}
+
+// TestRetriesExhausted: no server at all — the client gives up with a
+// typed error after its capped backoff schedule, never hangs.
+func TestRetriesExhausted(t *testing.T) {
+	opts := fastClient("127.0.0.1:1") // nothing listens on port 1
+	opts.MaxRetries = 3
+	c, err := NewClient(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.OpenSession(800); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("want ErrRetriesExhausted, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("gave up after %v; backoff cap is not bounding", elapsed)
+	}
+}
+
+// TestJournalTornTail tears the last record and proves recovery
+// salvages everything before the tear.
+func TestJournalTornTail(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	j, err := OpenJournal(jpath, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Session(1, "torn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Chunk(1, 0, []byte("first chunk")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Chunk(1, 1, []byte("second chunk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear: chop into the last record's bytes.
+	st, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(jpath, st.Size()-30); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatalf("recovery must salvage, got %v", err)
+	}
+	sess := v.Sessions[1]
+	if sess == nil {
+		t.Fatal("session lost to the tear")
+	}
+	if got := string(sess.Data); got != "first chunk" {
+		t.Fatalf("salvaged %q, want the first chunk only", got)
+	}
+	if sess.Chunks != 1 {
+		t.Errorf("Chunks = %d, want 1", sess.Chunks)
+	}
+}
+
+// TestKillRestartRecovery is the acceptance crash drill: rrproc dies
+// mid-stream (journal abandoned without a final barrier, tail torn),
+// a new rrproc recovers the journal, the still-running client resumes
+// against it, and the session commits identical.
+func TestKillRestartRecovery(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	sopts := fastServer(jpath)
+	sopts.FsyncEveryBytes = 2 << 10 // frequent durability for a tight replay window
+
+	s1, err := NewServer(sopts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", sopts.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s1.Serve(ln1) }()
+
+	var addr atomic.Value
+	addr.Store(ln1.Addr().String())
+
+	copts := fastClient(ln1.Addr().String())
+	c, err := NewClient(copts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Dial = func(_ string, d time.Duration) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr.Load().(string), d)
+	}
+	sw, err := c.OpenSession(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(48<<10, 9)
+	half := len(payload) / 2
+	streamAll(t, sw, payload[:half])
+
+	// Crash server 1: cut the listener and every connection, abandon
+	// the journal file handle with no final barrier.
+	s1.crashForTest()
+	_ = ln1.Close()
+
+	// Tear the journal tail, as a real crash mid-write would.
+	st, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 20 {
+		if err := os.Truncate(jpath, st.Size()-7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart on the same journal, new port; repoint the client.
+	s2, err := NewServer(sopts, nil)
+	if err != nil {
+		t.Fatalf("restart on recovered journal: %v", err)
+	}
+	ln2, err := net.Listen("tcp", sopts.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s2.Serve(ln2) }()
+	addr.Store(ln2.Addr().String())
+
+	streamAll(t, sw, payload[half:])
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close across restart: %v", err)
+	}
+	if res := sw.Result(); res.Status != StatusOK {
+		t.Fatalf("status = %d (%s), want OK across crash+restart", res.Status, res.Reason)
+	}
+	if err := s2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := v.Sessions[900]
+	if err := sess.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sess.Data, payload) {
+		t.Fatal("recovered session bytes differ from the client's log")
+	}
+	if crc := crc32.Checksum(payload, castagnoli); crc != sess.LogCRC {
+		t.Fatalf("committed CRC %08x != payload CRC %08x", sess.LogCRC, crc)
+	}
+}
+
+// crashForTest simulates a hard kill: connections cut, journal file
+// handle closed with no barrier (anything past the last fsync'd
+// segment is at the filesystem's mercy).
+func (s *Server) crashForTest() {
+	s.mu.Lock()
+	s.draining = true
+	s.closed = true
+	for nc := range s.conns {
+		closeConn(nc)
+	}
+	s.mu.Unlock()
+	s.jmu.Lock()
+	_ = s.jr.f.Close()
+	s.jmu.Unlock()
+}
+
+func shutdownQuiet(s *Server)      { _ = s.Shutdown() }
+func closeQuiet(sw *SessionWriter) { _ = sw.Close() }
+
+// TestIdleFlushBreaksDurabilityDeadlock pins the group-commit wedge:
+// with FsyncEveryBytes larger than the window's worth of journal
+// bytes, the byte-threshold fsync alone never fires once the window
+// fills (window full -> no new chunks -> threshold never reached ->
+// durable never advances -> window never drains). The server's
+// heartbeat-triggered idle flush must break the cycle.
+func TestIdleFlushBreaksDurabilityDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "j.rrjl")
+	sopts := fastServer(jpath)
+	sopts.FsyncEveryBytes = 1 << 20 // far beyond the whole stream
+	s, addr := startServer(t, sopts)
+	defer shutdownQuiet(s)
+
+	copts := fastClient(addr)
+	copts.ChunkSize = 512
+	copts.Window = 4 // window bytes (2K) << fsync threshold
+	c, err := NewClient(copts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := c.OpenSession(606)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(16<<10, 6) // 32 chunks, 8 windows deep
+	start := time.Now()
+	streamAll(t, sw, payload)
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res := sw.Result()
+	if res.Status != StatusOK {
+		t.Fatalf("status = %d (%s), want OK", res.Status, res.Reason)
+	}
+	if res.Retries != 0 {
+		t.Errorf("took %d retries; the idle flush should make progress without reconnects", res.Retries)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("stream took %v; durability stalls should resolve at heartbeat cadence", d)
+	}
+}
