@@ -133,7 +133,17 @@ func run() int {
 	}
 
 	streamErr := stream(sw, local, *in, *app, *cores, *scale, *variant)
-	closeErr := sw.Close()
+	var closeErr error
+	if streamErr != nil {
+		// The producer died mid-stream: abort without committing.
+		// Close would drain and commit the truncated prefix, and the
+		// server — whose CRC check only covers bytes that were
+		// actually streamed — would journal it as a healthy session
+		// while rrd exits 1.
+		sw.Abort()
+	} else {
+		closeErr = sw.Close()
+	}
 	res := sw.Result()
 	if local != nil {
 		if err := local.Close(); err != nil && streamErr == nil {
@@ -141,8 +151,12 @@ func run() int {
 		}
 	}
 
+	status := statusName(res.Status)
+	if streamErr != nil {
+		status = "aborted"
+	}
 	fmt.Printf("session %d (%s): %d chunks, %d bytes, %d retries\n",
-		id, statusName(res.Status), res.Chunks, res.Bytes, res.Retries)
+		id, status, res.Chunks, res.Bytes, res.Retries)
 	if res.Spilled > 0 {
 		fmt.Printf("spilled %d chunks through %s\n", res.Spilled, dir)
 	}

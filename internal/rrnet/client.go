@@ -112,8 +112,9 @@ type SessionWriter struct {
 	spill *os.File
 
 	conn       *clientConn
-	attempts   int // consecutive failures since last ack progress
+	attempts   int       // consecutive failures since last ack progress
 	retries    int
+	nextDial   time.Time // earliest next tryReconnect dial (backoff without sleeping)
 	lastSend   time.Time
 	flushReqAt uint64 // contig level a durability nudge was last sent at
 
@@ -398,12 +399,57 @@ func (sw *SessionWriter) spillOut(data []byte) (int64, error) {
 // producer: drain any acks that arrived, then send every unsent entry
 // if the connection is live. Send failures are not retried here —
 // the entry stays pending and resume-after-reconnect re-delivers it.
+// A dead connection gets one rate-limited reconnect attempt under the
+// Drop and Spill policies, whose Writes never reach the blocking
+// reconnect loop in waitDrain: without it, one transient reset would
+// shed or spill every subsequent chunk until Close even after rrproc
+// recovered.
 func (sw *SessionWriter) pump() {
 	sw.drainAcks()
 	if sw.conn == nil || sw.conn.isDead() {
-		return
+		if sw.opts.Policy == Block {
+			return // waitForRoom owns Block's (sleeping) reconnects
+		}
+		sw.tryReconnect()
+		if sw.conn == nil || sw.conn.isDead() {
+			return
+		}
 	}
 	sw.sendReady()
+}
+
+// tryReconnect makes at most one dial attempt, rate-limited by the
+// same capped backoff schedule ensureConn sleeps through — but it
+// never sleeps, so a producer under Drop or Spill pays one dial (fast
+// when the host is down: connection refused) per backoff period
+// instead of a stalled Write. Counts against the shared retry budget;
+// once that is exhausted only Close's ensureConn can surface the
+// terminal error.
+func (sw *SessionWriter) tryReconnect() {
+	if sw.conn != nil && !sw.conn.isDead() {
+		return
+	}
+	if sw.attempts > sw.opts.MaxRetries || time.Now().Before(sw.nextDial) {
+		return
+	}
+	if sw.conn != nil {
+		sw.dropConn()
+		sw.c.mReconnects.Inc(0)
+	}
+	if sw.attempts > 0 {
+		sw.c.mRetries.Inc(0)
+		sw.retries++
+	}
+	sw.attempts++
+	if err := sw.connectOnce(); err != nil {
+		if errors.Is(err, ErrRejected) {
+			sw.failed = err // hard refusal: retrying cannot help
+			return
+		}
+		sw.nextDial = time.Now().Add(sw.backoff(sw.attempts - 1))
+		return
+	}
+	sw.nextDial = time.Time{}
 }
 
 // sendReady ships entries from sentTo onward on the current
@@ -463,14 +509,18 @@ func (sw *SessionWriter) drainAcks() {
 
 // awaitRoomBriefly gives the transport DropGrace to make ack progress
 // before the Drop policy sheds: a bounded producer pause, never a
-// reconnect loop. A dead (or never-established) connection sheds
-// immediately — the chunk could not have been delivered anyway.
+// sleeping reconnect loop. A dead connection gets the one rate-limited
+// tryReconnect dial; if that does not revive it the chunk sheds
+// immediately — it could not have been delivered anyway.
 func (sw *SessionWriter) awaitRoomBriefly() {
 	deadline := time.Now().Add(sw.opts.DropGrace)
 	for {
 		sw.drainAcks()
 		if sw.inflight() < sw.opts.Window {
 			return
+		}
+		if sw.conn == nil || sw.conn.isDead() {
+			sw.tryReconnect()
 		}
 		if sw.conn == nil || sw.conn.isDead() || !time.Now().Before(deadline) {
 			return
@@ -629,6 +679,24 @@ func (sw *SessionWriter) Close() error {
 		}
 		return nil
 	}
+}
+
+// Abort abandons the session without committing: the producer feeding
+// Write failed upstream, so the streamed prefix is truncated. Close
+// would drain and commit it — and since the rolling CRC covers only
+// the bytes actually written, the server would classify the truncated
+// session as healthy and journal it that way. Abort leaves the
+// session uncommitted on the server instead, visible as such to
+// rrproc -query and eligible for a later resume. No-op after Close.
+func (sw *SessionWriter) Abort() {
+	if sw.closed {
+		return
+	}
+	sw.closed = true
+	if sw.failed == nil {
+		sw.failed = errors.New("rrnet: session aborted")
+	}
+	sw.cleanup()
 }
 
 // Result reports the session outcome; valid after Close.

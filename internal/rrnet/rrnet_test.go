@@ -704,6 +704,195 @@ func (s *Server) crashForTest() {
 func shutdownQuiet(s *Server)      { _ = s.Shutdown() }
 func closeQuiet(sw *SessionWriter) { _ = sw.Close() }
 
+// TestTenantMismatchRejected pins the session-ID collision guard: two
+// rrd hosts whose clock-derived IDs collide must not be silently
+// merged into one stream (the second client's chunks would ack as
+// duplicates and vanish, and its commit could poison the first
+// session's verdict). The second hello is rejected instead.
+func TestTenantMismatchRejected(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	s, addr := startServer(t, fastServer(jpath))
+	defer shutdownQuiet(s)
+
+	c1, err := NewClient(fastClient(addr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := c1.OpenSession(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeQuiet(sw)
+
+	copts := fastClient(addr)
+	copts.Tenant = "other-host"
+	copts.MaxRetries = 1
+	c2, err := NewClient(copts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.OpenSession(42); !errors.Is(err, ErrRejected) {
+		t.Fatalf("colliding session from another tenant: want ErrRejected, got %v", err)
+	}
+
+	// The first session is unharmed by the collision attempt.
+	streamAll(t, sw, testPayload(4<<10, 42))
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if res := sw.Result(); res.Status != StatusOK {
+		t.Fatalf("status = %d (%s), want OK", res.Status, res.Reason)
+	}
+}
+
+// TestDropPolicyReconnectsAfterReset: a transient connection reset
+// under the Drop policy must not tombstone the rest of the session —
+// the seal/pump path owes the transport one (rate-limited, never
+// sleeping) reconnect attempt before shedding. With a healthy server
+// one cut therefore still lands an identical session.
+func TestDropPolicyReconnectsAfterReset(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	s, addr := startServer(t, fastServer(jpath))
+
+	copts := fastClient(addr)
+	copts.Policy = Drop
+	c, err := NewClient(copts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur atomic.Pointer[net.Conn]
+	base := c.Dial
+	c.Dial = func(a string, d time.Duration) (net.Conn, error) {
+		nc, err := base(a, d)
+		if err == nil {
+			cur.Store(&nc)
+		}
+		return nc, err
+	}
+	sw, err := c.OpenSession(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(32<<10, 43)
+	half := len(payload) / 2
+	streamAll(t, sw, payload[:half])
+	if ncp := cur.Load(); ncp != nil {
+		closeConn(*ncp) // transient reset mid-session
+	}
+	streamAll(t, sw, payload[half:])
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close after reset: %v", err)
+	}
+	res := sw.Result()
+	if res.Status != StatusOK || res.Dropped != 0 {
+		t.Fatalf("status = %d, dropped = %d (%s); want OK with nothing shed after one reset",
+			res.Status, res.Dropped, res.Reason)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Sessions[43].Data, payload) {
+		t.Fatal("session bytes differ after reset recovery")
+	}
+}
+
+// TestAbortLeavesSessionUncommitted: a producer that fails upstream
+// mid-stream must abort, and the journal must record the session as
+// uncommitted — never as a committed, healthy-looking truncation.
+func TestAbortLeavesSessionUncommitted(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "j.rrjl")
+	s, addr := startServer(t, fastServer(jpath))
+
+	c, err := NewClient(fastClient(addr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := c.OpenSession(44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamAll(t, sw, testPayload(8<<10, 44)) // a truncated prefix
+	sw.Abort()
+	if _, err := sw.Write([]byte("x")); !errors.Is(err, ErrWriterClosed) {
+		t.Fatalf("Write after Abort: want ErrWriterClosed, got %v", err)
+	}
+	if err := sw.Close(); err == nil {
+		t.Fatal("Close after Abort must not report a clean session")
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := v.Sessions[44]
+	if sess == nil {
+		t.Fatal("aborted session absent from journal (its prefix should persist for resume)")
+	}
+	if sess.Committed {
+		t.Fatalf("aborted session journaled as committed (status %d)", sess.Status)
+	}
+}
+
+// TestDurablePromotionSnapshotExcludesLaterAppends pins the
+// durable-means-fsynced contract against the promotion race: a chunk
+// another session journals between a barrier and that barrier's
+// promotion sweep must NOT be marked durable by the sweep — it is not
+// fsync-covered, and a crash before the next barrier would lose it
+// after the client already freed its copy.
+func TestDurablePromotionSnapshotExcludesLaterAppends(t *testing.T) {
+	sopts := fastServer(filepath.Join(t.TempDir(), "j.rrjl"))
+	sopts.FsyncEveryBytes = 1 // every append barriers
+	s, err := NewServer(sopts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownQuiet(s)
+	a, rej := s.adoptSession(helloMsg{Proto: ProtoVersion, Session: 1, Tenant: "a"})
+	if a == nil {
+		t.Fatal(rej)
+	}
+	b, rej := s.adoptSession(helloMsg{Proto: ProtoVersion, Session: 2, Tenant: "b"})
+	if b == nil {
+		t.Fatal(rej)
+	}
+
+	snapA, err := s.journalChunk(1, 0, []byte("chunk a0")) // barriers
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapA == nil {
+		t.Fatal("expected a snapshot from the barrier-triggering append")
+	}
+	// Session 2 appends AFTER the barrier, before the sweep runs.
+	snapB, err := s.journalChunk(2, 0, []byte("chunk b0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.promoteDurable(snapA)
+	if got := b.durable.Load(); got != 0 {
+		t.Fatalf("sweep marked %d un-fsynced chunk(s) of session 2 durable", got)
+	}
+	if got := a.durable.Load(); got != 1 {
+		t.Fatalf("session 1 durable = %d, want 1", got)
+	}
+	// The newer snapshot promotes B; re-applying the stale one must
+	// not rewind anything (sweeps run unordered outside jmu).
+	s.promoteDurable(snapB)
+	if got := b.durable.Load(); got != 1 {
+		t.Fatalf("session 2 durable = %d after its own barrier, want 1", got)
+	}
+	s.promoteDurable(snapA)
+	if got := b.durable.Load(); got != 1 {
+		t.Fatalf("stale snapshot rewound session 2 durable to %d", got)
+	}
+}
+
 // TestIdleFlushBreaksDurabilityDeadlock pins the group-commit wedge:
 // with FsyncEveryBytes larger than the window's worth of journal
 // bytes, the byte-threshold fsync alone never fires once the window

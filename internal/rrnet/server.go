@@ -24,6 +24,12 @@ type Server struct {
 	jr   *Journal
 	jmu  sync.Mutex // serializes journal appends
 
+	// jWatermark tracks, per session, how many chunks have been
+	// written to the journal file — maintained under jmu, in write
+	// order, so a snapshot taken under the same jmu hold as an fsync
+	// barrier describes exactly the chunks that fsync covered.
+	jWatermark map[uint64]uint64
+
 	mu       sync.Mutex
 	sessions map[uint64]*serverSession
 	active   int // uncommitted sessions (MaxSessions bound)
@@ -39,16 +45,15 @@ type Server struct {
 	gSessions                           *telemetry.Gauge
 }
 
-// serverSession is the per-session reassembly state. journaled and
-// durable are atomics so the post-fsync promotion sweep can run
-// without taking every session's lock; everything else is under mu.
+// serverSession is the per-session reassembly state. durable is an
+// atomic so the post-fsync promotion sweep can run without taking
+// every session's lock; everything else is under mu.
 type serverSession struct {
-	id        uint64
-	journaled atomic.Uint64 // chunks whose journal write returned
-	durable   atomic.Uint64 // chunks covered by an fsync'd segment
+	id      uint64
+	durable atomic.Uint64 // chunks covered by an fsync'd segment
 
 	mu      sync.Mutex
-	tenant  string
+	tenant  string // immutable once the session is published
 	contig  uint64            // next seq needed
 	crc     uint32            // rolling CRC32C over in-order payloads
 	bytes   uint64            // in-order payload bytes received
@@ -72,10 +77,11 @@ func NewServer(opts ServerOptions, reg *telemetry.Registry) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:     opts,
-		jr:       jr,
-		sessions: make(map[uint64]*serverSession),
-		conns:    make(map[net.Conn]struct{}),
+		opts:       opts,
+		jr:         jr,
+		jWatermark: make(map[uint64]uint64),
+		sessions:   make(map[uint64]*serverSession),
+		conns:      make(map[net.Conn]struct{}),
 
 		mChunks:    reg.Counter("rrnet.server.chunks"),
 		mBytes:     reg.Counter("rrnet.server.bytes"),
@@ -111,8 +117,8 @@ func (s *Server) recover() error {
 			crc:     crc32.Checksum(js.Data, castagnoli),
 			pending: make(map[uint64][]byte),
 		}
-		ss.journaled.Store(js.Chunks)
 		ss.durable.Store(js.Durable)
+		s.jWatermark[id] = js.Chunks
 		if js.Committed {
 			ss.committed = true
 			ss.verdict = commitAckMsg{Session: id, Status: js.Status, Missing: js.Missing, Reason: js.Reason}
@@ -318,7 +324,19 @@ func (s *Server) adoptSession(m helloMsg) (*serverSession, string) {
 		return nil, "server is draining"
 	}
 	if sess := s.sessions[m.Session]; sess != nil {
+		// tenant is immutable after publication, so this read needs no
+		// sess.mu (taking it here would also invert the documented
+		// sess.mu -> s.mu lock order).
+		tenant := sess.tenant
 		s.mu.Unlock()
+		if tenant != m.Tenant {
+			// Session-ID collision between two rrd hosts (IDs default
+			// to wall-clock nanos): adopting would silently merge the
+			// streams — the second client's chunks ack as duplicates
+			// and vanish, and its commit could poison the first
+			// session's verdict.
+			return nil, fmt.Sprintf("session %d belongs to tenant %q, not %q", m.Session, tenant, m.Tenant)
+		}
 		return sess, ""
 	}
 	if s.active >= s.opts.MaxSessions {
@@ -332,13 +350,15 @@ func (s *Server) adoptSession(m helloMsg) (*serverSession, string) {
 	s.gSessions.Set(0, uint64(len(s.sessions)))
 	s.mu.Unlock()
 
-	if _, err := s.journalSession(m.Session, m.Tenant); err != nil {
+	snap, err := s.journalSession(m.Session, m.Tenant)
+	if err != nil {
 		s.mu.Lock()
 		delete(s.sessions, m.Session)
 		s.active--
 		s.mu.Unlock()
 		return nil, "journal write failed"
 	}
+	s.promoteDurable(snap)
 	return sess, ""
 }
 
@@ -387,7 +407,7 @@ func (s *Server) applyChunk(sess *serverSession, seq uint64, data []byte) (conti
 // extend appends one in-order chunk: journal first, then account.
 // Caller holds sess.mu.
 func (s *Server) extend(sess *serverSession, data []byte) error {
-	synced, err := s.journalChunk(sess.id, sess.contig, data)
+	snap, err := s.journalChunk(sess.id, sess.contig, data)
 	if err != nil {
 		return err
 	}
@@ -397,44 +417,74 @@ func (s *Server) extend(sess *serverSession, data []byte) error {
 		sess.gaps++
 	}
 	sess.contig++
-	sess.journaled.Store(sess.contig)
 	s.mChunks.Inc(0)
 	s.mBytes.Add(0, uint64(len(data)))
-	if synced {
-		s.promoteDurable()
-	}
+	s.promoteDurable(snap)
 	return nil
 }
 
-// promoteDurable marks every session's journaled prefix durable after
-// a segment fsync (one fsync covers the whole file). Touches only
-// atomic session fields, so holding a sess.mu while calling is fine.
 // flushIdle barriers the journal if it holds unsynced bytes and
 // promotes every session's durable point. Called from the heartbeat
 // path: it is the idle half of group commit (the busy half is the
 // FsyncEveryBytes threshold inside extend).
 func (s *Server) flushIdle() error {
 	s.jmu.Lock()
-	dirty := s.jr.sinceSync > 0
+	var snap map[uint64]uint64
 	var err error
-	if dirty {
-		err = s.jr.barrier()
+	if s.jr.sinceSync > 0 {
+		if err = s.jr.barrier(); err == nil {
+			snap = s.watermarksLocked()
+		}
 	}
 	s.jmu.Unlock()
 	if err != nil {
 		return err
 	}
-	if dirty {
-		s.promoteDurable()
-	}
+	s.promoteDurable(snap)
 	return nil
 }
 
-func (s *Server) promoteDurable() {
+// watermarksLocked snapshots every session's journaled chunk count.
+// Caller holds jmu, and must have held it continuously since the
+// fsync barrier the snapshot describes.
+func (s *Server) watermarksLocked() map[uint64]uint64 {
+	snap := make(map[uint64]uint64, len(s.jWatermark))
+	for id, n := range s.jWatermark {
+		snap[id] = n
+	}
+	return snap
+}
+
+// promoteDurable marks each snapshotted session's fsync-covered chunk
+// prefix durable. snap must be a watermarksLocked snapshot taken under
+// the same jmu hold as the barrier: promoting from live counters after
+// releasing jmu would let a chunk journaled between the fsync and the
+// sweep be acked durable un-fsynced — the client frees its copy, and a
+// crash before the next fsync loses the chunk permanently. Touches
+// only the durable atomics, so holding a sess.mu while calling is
+// fine. A nil snap (no barrier fired) is a no-op.
+func (s *Server) promoteDurable(snap map[uint64]uint64) {
+	if len(snap) == 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, sess := range s.sessions {
-		sess.durable.Store(sess.journaled.Load())
+	for id, n := range snap {
+		if sess := s.sessions[id]; sess != nil {
+			storeMax(&sess.durable, n)
+		}
+	}
+}
+
+// storeMax advances a monotonically: promotion sweeps run outside
+// jmu, so an older barrier's snapshot can be applied after a newer
+// one's and must not rewind it.
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -478,6 +528,10 @@ func (s *Server) commitSession(sess *serverSession, m commitMsg) (commitAckMsg, 
 	}
 	s.jmu.Lock()
 	err := s.jr.Commit(sess.id, ack.Status, m.Chunks, m.LogLen, m.LogCRC, m.NDrop, ack.Missing, ack.Reason)
+	var snap map[uint64]uint64
+	if err == nil {
+		snap = s.watermarksLocked() // Commit always barriers
+	}
 	s.jmu.Unlock()
 	if err != nil {
 		return ack, err
@@ -485,8 +539,7 @@ func (s *Server) commitSession(sess *serverSession, m commitMsg) (commitAckMsg, 
 	sess.committed = true
 	sess.verdict = ack
 	sess.pending = nil
-	sess.durable.Store(sess.journaled.Load())
-	s.promoteDurable()
+	s.promoteDurable(snap)
 	s.mu.Lock()
 	s.active--
 	s.mu.Unlock()
@@ -494,16 +547,38 @@ func (s *Server) commitSession(sess *serverSession, m commitMsg) (commitAckMsg, 
 	return ack, nil
 }
 
-func (s *Server) journalSession(id uint64, tenant string) (bool, error) {
+// journalSession and journalChunk append one record each. When the
+// append crossed the fsync threshold they return the watermark
+// snapshot to promote (captured before jmu is released, so it covers
+// exactly what the fsync wrote); nil otherwise.
+func (s *Server) journalSession(id uint64, tenant string) (map[uint64]uint64, error) {
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
-	return s.jr.Session(id, tenant)
+	synced, err := s.jr.Session(id, tenant)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := s.jWatermark[id]; !ok {
+		s.jWatermark[id] = 0
+	}
+	if !synced {
+		return nil, nil
+	}
+	return s.watermarksLocked(), nil
 }
 
-func (s *Server) journalChunk(id, seq uint64, data []byte) (bool, error) {
+func (s *Server) journalChunk(id, seq uint64, data []byte) (map[uint64]uint64, error) {
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
-	return s.jr.Chunk(id, seq, data)
+	synced, err := s.jr.Chunk(id, seq, data)
+	if err != nil {
+		return nil, err
+	}
+	s.jWatermark[id] = seq + 1
+	if !synced {
+		return nil, nil
+	}
+	return s.watermarksLocked(), nil
 }
 
 // writeMsg writes one frame under the write deadline; false marks the

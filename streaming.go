@@ -100,18 +100,13 @@ func WrapStreamConn(nc net.Conn, inj *FaultInjector) net.Conn {
 // degraded with a report. The session is consumed either way.
 func (r *Recording) StreamLogV3(sw *StreamSession) (StreamResult, error) {
 	if err := r.WriteLogV3(sw); err != nil {
-		closeSession(sw)
+		// Abort, not Close: committing the truncated prefix would
+		// journal it as a healthy session.
+		sw.Abort()
 		return sw.Result(), err
 	}
 	err := sw.Close()
 	return sw.Result(), err
-}
-
-// closeSession tears down a session whose outcome is already decided
-// by an earlier encode error.
-func closeSession(sw *StreamSession) {
-	//rrlint:allow errcheck-io -- teardown after a failed encode; the encode error wins
-	_ = sw.Close()
 }
 
 var _ io.WriteCloser = (*StreamSession)(nil)
