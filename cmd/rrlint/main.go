@@ -1,16 +1,26 @@
-// rrlint statically proves the simulator's determinism and hot-path
-// invariants: no wall clocks or global RNGs in the simulation
-// packages, no map-iteration-ordered output, no discarded errors on
-// the fault-injected log write path, no copied locks or telemetry
-// cells, no allocation in //rrlint:hotpath functions, and a closed
-// fault-point vocabulary. It is stdlib-only (go/ast + go/types) and
-// gates CI next to go vet.
+// rrlint statically proves the simulator's determinism, hot-path and
+// concurrency invariants: no wall clocks or global RNGs in the
+// simulation packages, no map-iteration-ordered output, no discarded
+// errors on the fault-injected log write path, no copied locks or
+// telemetry cells, no allocation in //rrlint:hotpath functions, a
+// closed fault-point vocabulary — and, through a cross-function
+// call-graph engine, no mutex-order cycles (lockorder), no blocking
+// I/O reachable under a lock (blockinglock), no unsupervised
+// goroutines (goroleak), and no field mixing sync/atomic with plain
+// access (atomicmix). It is stdlib-only (go/ast + go/types) and gates
+// CI next to go vet.
 //
-//	rrlint [-checks detrand,maporder,...] [-json] [-list] [packages]
+//	rrlint [-check lockorder] [-checks detrand,maporder,...]
+//	       [-json] [-sarif] [-list] [packages]
 //
 // Packages default to ./... . Exit status: 0 clean, 1 findings,
-// 2 usage or load failure. Suppress a finding with an
-// `//rrlint:allow <check>` comment on (or directly above) its line.
+// 2 usage or load failure. -sarif emits a SARIF 2.1.0 log for GitHub
+// code scanning (findings still exit 1, so CI fails while the
+// artifact is written). Suppress a finding with an
+// `//rrlint:allow <check>` comment on (or directly above) its line;
+// for the cross-function checks the comment goes at the reported
+// site (the frame holding the lock, the go statement), not inside a
+// callee.
 package main
 
 import (
@@ -26,11 +36,13 @@ import (
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	check := flag.String("check", "", "filter to the named check(s); alias of -checks")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (GitHub code scanning)")
 	list := flag.Bool("list", false, "list registered checks and exit")
 	typeErrs := flag.Bool("typecheck", false, "also report type-check errors (default: syntax-tolerant)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rrlint [-checks c1,c2] [-json] [-list] [packages]\n\nchecks:\n")
+		fmt.Fprintf(os.Stderr, "usage: rrlint [-check c] [-checks c1,c2] [-json] [-sarif] [-list] [packages]\n\nchecks:\n")
 		for _, c := range lint.Checks() {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", c.Name, c.Doc)
 		}
@@ -68,8 +80,10 @@ func main() {
 	}
 
 	var names []string
-	if *checks != "" {
-		names = strings.Split(*checks, ",")
+	for _, v := range []string{*checks, *check} {
+		if v != "" {
+			names = append(names, strings.Split(v, ",")...)
+		}
 	}
 	diags, err := lint.Run(prog, names)
 	if err != nil {
@@ -88,7 +102,15 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
+	if *sarifOut {
+		out, err := lint.SARIF(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+	} else if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {

@@ -55,6 +55,10 @@ func TestExitCodes(t *testing.T) {
 		{"lockcopy", "lockcopy"},
 		{"hotpath-alloc", "hotpath"},
 		{"faultpoint", "faultpoint"},
+		{"lockorder", "lockorder"},
+		{"blockinglock", "blockinglock"},
+		{"goroleak", "goroleak"},
+		{"atomicmix", "atomicmix"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check, func(t *testing.T) {
@@ -106,6 +110,63 @@ func TestJSONOutput(t *testing.T) {
 	for _, f := range payload.Findings {
 		if f.Check != "hotpath-alloc" || f.File == "" || f.Line == 0 || f.Col == 0 || f.Message == "" {
 			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestCheckFlagAlias: -check is an alias of -checks and the two merge,
+// so `-check lockorder -checks goroleak` runs both.
+func TestCheckFlagAlias(t *testing.T) {
+	bin := buildRRLint(t)
+	dir := filepath.Join("..", "..", "internal", "lint", "testdata", "lockorder")
+	aliased, code := runRRLint(t, bin, dir, "-check", "lockorder", "./...")
+	if code != 1 {
+		t.Fatalf("-check exit code = %d, want 1", code)
+	}
+	canonical, _ := runRRLint(t, bin, dir, "-checks", "lockorder", "./...")
+	if aliased != canonical {
+		t.Errorf("-check and -checks diverge\n--- -check ---\n%s--- -checks ---\n%s", aliased, canonical)
+	}
+	merged, code := runRRLint(t, bin, dir, "-check", "lockorder", "-checks", "lockorder", "./...")
+	if code != 1 || merged != canonical {
+		t.Errorf("merged flags: exit=%d\n--- got ---\n%s--- want ---\n%s", code, merged, canonical)
+	}
+}
+
+// TestSARIFOutput: -sarif emits a 2.1.0 log with rrlint as the driver
+// and still exits 1 on findings so CI fails while the artifact exists.
+func TestSARIFOutput(t *testing.T) {
+	bin := buildRRLint(t)
+	dir := filepath.Join("..", "..", "internal", "lint", "testdata", "blockinglock")
+	out, code := runRRLint(t, bin, dir, "-sarif", "-checks", "blockinglock", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings must fail CI even with -sarif)", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("bad SARIF JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "rrlint" {
+		t.Errorf("unexpected SARIF header: %+v", log)
+	}
+	if len(log.Runs[0].Results) == 0 {
+		t.Error("SARIF log carries no results for a fixture with findings")
+	}
+	for _, r := range log.Runs[0].Results {
+		if r.RuleID != "blockinglock" {
+			t.Errorf("result ruleId = %q, want blockinglock", r.RuleID)
 		}
 	}
 }

@@ -140,6 +140,7 @@ func (s *Suite) NetChaosGrid(inj *faultinject.Injector) (*NetChaosResult, error)
 func (s *Suite) netChaosCell(pol rrnet.BackpressurePolicy, server, fault string, inj *faultinject.Injector) NetChaosCell {
 	cell := NetChaosCell{Policy: pol.String(), Server: server, Fault: fault}
 	done := make(chan NetChaosCell, 1)
+	//rrlint:allow goroleak -- watchdog cell: abandoned on timeout by design so one hung cell cannot stall the suite
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -345,6 +346,7 @@ func netChaosServe(opts rrnet.ServerOptions, s *Suite) (*rrnet.Server, net.Liste
 		shutdownQuiet(srv)
 		return nil, nil, err
 	}
+	//rrlint:allow goroleak -- serve loop terminates when shutdownQuiet closes the listener
 	go func() {
 		//rrlint:allow errcheck-io -- serve loop ends at shutdown; its error has no consumer here
 		_ = srv.Serve(ln)

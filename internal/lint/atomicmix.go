@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// atomicmix: a struct field is either a plain field or an atomic —
+// never both. Mixing `atomic.AddUint64(&s.n, 1)` with a plain `s.n`
+// read elsewhere is a data race the memory model gives no meaning to,
+// and on a relaxed-consistency machine (the very subject of this
+// codebase) the plain load can legally observe a stale or torn value
+// forever. The typed sync/atomic wrappers (atomic.Uint64 et al.) make
+// the mix inexpressible; this check covers the function-style API,
+// where the field type stays a plain integer and nothing stops a
+// later maintainer from writing `s.n++`.
+//
+// The check is whole-program: atomic access in one package and plain
+// access in another still mix. Findings are reported at every PLAIN
+// access (the side that breaks the discipline), naming one atomic
+// site as evidence. Composite-literal initialization is not flagged:
+// construction happens-before publication.
+//
+// Soundness caveat: access through a stored pointer (`p := &s.n;
+// atomic.AddUint64(p, 1)`) is invisible — the check sees only direct
+// selector-rooted uses.
+
+var atomicmixCheck = &Check{
+	Name: "atomicmix",
+	Doc:  "no struct field is accessed both through sync/atomic and by plain load/store",
+	Run: func(pass *Pass) {
+		type site struct {
+			pkg *Package
+			pos token.Pos
+		}
+		atomicSites := make(map[*types.Var][]site)
+		atomicArgSel := make(map[*ast.SelectorExpr]bool)
+
+		// Pass 1: find every &field handed to a sync/atomic function.
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(x ast.Node) bool {
+					call, ok := x.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					obj := calleeObj(pkg, call)
+					if obj == nil || objPkgPath(obj) != "sync/atomic" || !isAtomicFnName(obj.Name()) {
+						return true
+					}
+					if len(call.Args) == 0 {
+						return true
+					}
+					un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						return true
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if fv := fieldVarOf(pkg, sel); fv != nil {
+						atomicSites[fv] = append(atomicSites[fv], site{pkg: pkg, pos: sel.Pos()})
+						atomicArgSel[sel] = true
+					}
+					return true
+				})
+			}
+		}
+		if len(atomicSites) == 0 {
+			return
+		}
+
+		// Pass 2: every other selector-rooted use of those fields is a
+		// plain access.
+		type finding struct {
+			pkg   *Package
+			pos   token.Pos
+			field *types.Var
+			disp  string
+		}
+		var findings []finding
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(x ast.Node) bool {
+					sel, ok := x.(*ast.SelectorExpr)
+					if !ok || atomicArgSel[sel] {
+						return true
+					}
+					fv := fieldVarOf(pkg, sel)
+					if fv == nil {
+						return true
+					}
+					if _, mixed := atomicSites[fv]; !mixed {
+						return true
+					}
+					findings = append(findings, finding{
+						pkg: pkg, pos: sel.Sel.Pos(), field: fv,
+						disp: fieldDisp(pkg, sel, fv),
+					})
+					return true
+				})
+			}
+		}
+		sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+		for _, fd := range findings {
+			sites := atomicSites[fd.field]
+			ref := pass.Prog.Fset.Position(sites[0].pos)
+			pass.ReportPos(fd.pkg, fd.pos,
+				"plain access to %s, which is accessed with sync/atomic (e.g. %s:%d) — pick one discipline or use the typed atomic wrappers",
+				fd.disp, shortPath(ref.Filename), ref.Line)
+		}
+	},
+}
+
+// isAtomicFnName matches the function-style sync/atomic API.
+func isAtomicFnName(name string) bool {
+	for _, p := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldVarOf resolves a selector to the struct field it names (nil
+// for methods, package members, and non-field selections).
+func fieldVarOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// fieldDisp renders "Type.field" for the diagnostic.
+func fieldDisp(pkg *Package, sel *ast.SelectorExpr, fv *types.Var) string {
+	if t := exprType(pkg, sel.X); t != nil {
+		if named := namedOf(t); named != nil {
+			return named.Obj().Name() + "." + fv.Name()
+		}
+	}
+	return fv.Name()
+}
+
+// shortPath trims a filename to its final two path elements for
+// in-message references (full paths stay on the diagnostic position).
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) <= 2 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

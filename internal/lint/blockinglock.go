@@ -1,0 +1,49 @@
+package lint
+
+// blockinglock: no blocking operation — net.Conn I/O, os.File.Sync,
+// channel send/receive, a blocking select, time.Sleep, WaitGroup/Cond
+// Wait — while a mutex is held, directly or through any call chain.
+// A blocking call under a lock turns one slow peer (or one slow disk)
+// into a convoy: every goroutine that needs the lock stalls behind the
+// I/O, and in the rrnet server that means one stalled session
+// head-of-line-blocks every tenant sharing the journal.
+//
+// The finding is reported in the frame that HOLDS the lock: at the
+// blocking operation itself when direct, or at the call site whose
+// callee's summary blocks. That makes the `//rrlint:allow
+// blockinglock` placement meaningful — it sits where the lock is held
+// (the site that owns the tradeoff), never inside a callee that
+// blocks innocently for locked and unlocked callers alike. The
+// repo's intentional exception is the group-commit fsync barrier
+// under the rrnet journal lock (jmu): durability-before-ack is the
+// protocol contract, and the annotation keeps it a visible, audited
+// decision.
+
+var blockinglockCheck = &Check{
+	Name: "blockinglock",
+	Doc:  "no blocking operation (conn I/O, fsync, channel op, sleep) reachable while a mutex is held",
+	Run: func(pass *Pass) {
+		facts := pass.Prog.Facts()
+		for _, n := range facts.nodes {
+			for _, bs := range n.blocks {
+				if len(bs.held) == 0 {
+					continue
+				}
+				pass.ReportPos(n.pkg, bs.pos,
+					"blocking operation (%s) while holding %s", bs.kind, lockList(bs.held))
+			}
+			for _, cs := range n.calls {
+				if len(cs.held) == 0 || len(cs.callee.sumBlocks) == 0 {
+					continue
+				}
+				op := sortedBlocks(cs.callee.sumBlocks)[0]
+				chain := op.kind
+				if op.via != "" {
+					chain += " via " + op.via
+				}
+				pass.ReportPos(n.pkg, cs.pos,
+					"call to %s blocks (%s) while holding %s", cs.callee.name, chain, lockList(cs.held))
+			}
+		}
+	},
+}

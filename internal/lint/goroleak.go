@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroleak: every `go` statement must have a termination path visible
+// at the launch site. A goroutine with no context, no done-channel
+// and no WaitGroup is unsupervised: nothing can tell it to stop and
+// nothing waits for it, so under load (one goroutine per connection,
+// per session, per chaos cell) the leak compounds until the process
+// is mostly abandoned stacks. The check accepts, as supervision:
+//
+//   - a context.Context in the launched function's body or arguments
+//     (cancellation reaches it),
+//   - a receive from — or close of — a channel declared OUTSIDE the
+//     goroutine body (the done-channel pattern, both halves),
+//   - a sync.WaitGroup Done or Wait in the body (the launcher joins
+//     it),
+//   - a sync.Cond Wait (the launcher can broadcast it out).
+//
+// A SEND on an outside channel deliberately does not count: "sends a
+// result nobody receives" is the classic leaked-goroutine shape, not
+// a termination path. Goroutines whose lifetime is legitimately the
+// process or a connection (an http.Serve loop, a reader that exits
+// when its conn closes) carry an `//rrlint:allow goroleak` with the
+// justification, so every supervision exception is audited text, not
+// tribal knowledge.
+//
+// Soundness caveat: a launch of a function value or an out-of-program
+// function has no visible body and is skipped, and supervision is
+// syntactic presence, not proof the path is reachable.
+
+var goroleakCheck = &Check{
+	Name: "goroleak",
+	Doc:  "every go statement is supervised by a context, done-channel, or WaitGroup visible at the launch site",
+	Run: func(pass *Pass) {
+		facts := pass.Prog.Facts()
+		for _, n := range facts.nodes {
+			for _, g := range n.gos {
+				body, ok := launchedBody(facts, n.pkg, g.call)
+				if !ok {
+					continue // no visible body: nothing to judge
+				}
+				if contextInArgs(n.pkg, g.call) {
+					continue
+				}
+				pkg, launched := body.pkg, body.node
+				if supervised(pkg, launched) {
+					continue
+				}
+				pass.ReportPos(n.pkg, g.pos,
+					"goroutine has no visible termination path (no context, done-channel receive/close, or WaitGroup in %s)", body.name)
+			}
+		}
+	},
+}
+
+type launched struct {
+	pkg  *Package
+	node *ast.BlockStmt
+	name string
+}
+
+// launchedBody resolves the body the go statement starts: a function
+// literal, or a declared function/method loaded in this program.
+func launchedBody(facts *Facts, pkg *Package, call *ast.CallExpr) (launched, bool) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if n := facts.byLit[lit]; n != nil {
+			return launched{pkg: n.pkg, node: n.body, name: "the goroutine body"}, true
+		}
+		return launched{pkg: pkg, node: lit.Body, name: "the goroutine body"}, true
+	}
+	obj := calleeObj(pkg, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return launched{}, false
+	}
+	if n := facts.byObj[fn]; n != nil {
+		return launched{pkg: n.pkg, node: n.body, name: n.name}, true
+	}
+	return launched{}, false
+}
+
+// contextInArgs reports whether any launch argument carries a
+// context.Context — cancellation visibly travels into the goroutine.
+func contextInArgs(pkg *Package, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if t := exprType(pkg, a); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == "Context" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "context"
+}
+
+// supervised scans a goroutine body for any accepted termination path.
+func supervised(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.CallExpr:
+			obj := calleeObj(pkg, v)
+			if tn, mn := syncMethodOf(obj); tn == "WaitGroup" && (mn == "Done" || mn == "Wait") ||
+				tn == "Cond" && mn == "Wait" {
+				found = true
+				return false
+			}
+			// close(ch) on an outside channel: the announce half of the
+			// done-channel pattern — the launcher can join on it.
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(v.Args) == 1 {
+					if outsideChannel(pkg, body, v.Args[0]) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && outsideChannel(pkg, body, v.X) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := exprType(pkg, v.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && outsideChannel(pkg, body, v.X) {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			// A context.Context in scope (parameter or free variable).
+			if obj := pkg.Info.ObjectOf(v); obj != nil && isContextType(obj.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// outsideChannel reports whether e roots at an identifier declared
+// outside the goroutine body — i.e. state the launch site can see. A
+// timer or channel created inside the goroutine proves nothing about
+// external supervision.
+func outsideChannel(pkg *Package, body *ast.BlockStmt, e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := pkg.Info.ObjectOf(id)
+	if obj == nil || obj.Pos() == token.NoPos {
+		return false
+	}
+	return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+}

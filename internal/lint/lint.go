@@ -24,9 +24,29 @@
 //     point registered in internal/faultinject, and Points() lists
 //     every declared point.
 //
+// On top of the per-function checks sits a type-aware cross-function
+// engine (callgraph.go): a static call graph over the type-checked
+// program with per-function summaries — locks acquired, blocking
+// operations performed, goroutines launched — propagated to a
+// fixpoint. Four concurrency checks run on it:
+//
+//   - lockorder: the observed mutex-acquisition order (across all
+//     call paths) must be cycle-free.
+//   - blockinglock: no blocking operation (conn I/O, fsync, channel
+//     op, sleep) reachable while a mutex is held; reported in the
+//     frame that holds the lock.
+//   - goroleak: every `go` statement is supervised by a context,
+//     done-channel, or WaitGroup visible at the launch site.
+//   - atomicmix: no struct field is accessed both through sync/atomic
+//     and by plain load/store anywhere in the program.
+//
 // Findings are suppressed per line with a `//rrlint:allow <check>`
 // comment (on the offending line or the line above), so intentional
-// exceptions are visible and grep-able.
+// exceptions are visible and grep-able. For the cross-function checks
+// the comment must sit at the REPORTED site — the frame holding the
+// lock, the go statement, the plain field access — not inside a
+// callee, so the suppression documents the frame that owns the
+// tradeoff.
 package lint
 
 import (
@@ -70,6 +90,10 @@ func Checks() []*Check {
 		lockcopyCheck,
 		hotpathCheck,
 		faultpointCheck,
+		lockorderCheck,
+		blockinglockCheck,
+		goroleakCheck,
+		atomicmixCheck,
 	}
 }
 
@@ -95,7 +119,14 @@ type Pass struct {
 // Report records a finding at the given node unless an
 // `//rrlint:allow` comment suppresses it.
 func (p *Pass) Report(pkg *Package, node ast.Node, format string, args ...any) {
-	pos := pkg.Prog.Fset.Position(node.Pos())
+	p.ReportPos(pkg, node.Pos(), format, args...)
+}
+
+// ReportPos is Report for checks that carry raw positions (the
+// cross-function checks report at sites recorded during the shared
+// call-graph walk, not at a node in hand).
+func (p *Pass) ReportPos(pkg *Package, tpos token.Pos, format string, args ...any) {
+	pos := pkg.Prog.Fset.Position(tpos)
 	if p.allowed(pos, p.Check.Name) {
 		return
 	}

@@ -24,6 +24,10 @@ var goldenFixtures = []struct {
 	{"lockcopy", "lockcopy"},
 	{"hotpath-alloc", "hotpath"},
 	{"faultpoint", "faultpoint"},
+	{"lockorder", "lockorder"},
+	{"blockinglock", "blockinglock"},
+	{"goroleak", "goroleak"},
+	{"atomicmix", "atomicmix"},
 }
 
 // loadFixture loads one testdata tree and fails the test on loader or
@@ -138,6 +142,47 @@ func TestParseAllow(t *testing.T) {
 		if fmt.Sprint(got) != fmt.Sprint(c.want) && c.ok {
 			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
 		}
+	}
+}
+
+// TestCrossFunctionSuppressionAtReportedSite pins the suppression
+// contract for the call-graph checks: blockinglock reports in the
+// frame that holds the lock, so the allow comment inside napAllowed
+// (the callee) must not silence the misplacedAllow call site, while
+// the allow on barrier's own fsync line must.
+func TestCrossFunctionSuppressionAtReportedSite(t *testing.T) {
+	dir := filepath.Join("testdata", "blockinglock")
+	prog := loadFixture(t, dir)
+	diags, err := Run(prog, []string{"blockinglock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var callerSite, barrierSite bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "napAllowed") {
+			callerSite = true
+		}
+		if d.Line == 52 { // barrier's suppressed j.f.Sync()
+			barrierSite = true
+		}
+	}
+	if !callerSite {
+		t.Error("allow inside the callee suppressed the caller-site report; suppression must bind to the reported site")
+	}
+	if barrierSite {
+		t.Error("allow at the reported site did not suppress the finding")
+	}
+}
+
+// TestFactsSharedAcrossChecks is the perf contract: one Run over all
+// four cross-function checks builds the call-graph facts exactly once.
+func TestFactsSharedAcrossChecks(t *testing.T) {
+	prog := loadFixture(t, filepath.Join("testdata", "lockorder"))
+	if _, err := Run(prog, []string{"lockorder", "blockinglock", "goroleak", "atomicmix"}); err != nil {
+		t.Fatal(err)
+	}
+	if prog.factBuilds != 1 {
+		t.Errorf("facts built %d times across four checks, want 1", prog.factBuilds)
 	}
 }
 

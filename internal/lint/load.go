@@ -23,6 +23,12 @@ type Program struct {
 	Pkgs   []*Package
 
 	byPath map[string]*Package
+
+	// facts caches the cross-function call-graph analysis (built by
+	// Facts on first use) so every check shares one build per load;
+	// factBuilds counts builds for the share-once regression test.
+	facts      *Facts
+	factBuilds int
 }
 
 // Package is one parsed and type-checked package.

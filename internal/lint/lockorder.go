@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// lockorder: the mutex acquisition order must be a partial order. The
+// engine observes every "B acquired while A held" edge — directly in a
+// body, or through a call made while A is held to a function whose
+// summary (transitively) acquires B — and any cycle in that graph is a
+// latent deadlock: two goroutines entering the cycle from different
+// edges stall forever, which in this codebase means a recording
+// session that never commits. The rrnet server documents its
+// discipline as a comment ("sess.mu may be held while taking s.mu or
+// jmu, never the reverse"); this check is that comment, machine-
+// checked across every call path.
+//
+// Every edge that participates in a cycle is reported (at the inner
+// acquisition or the call site that creates it), so each direction of
+// a deadlock has its own suppressible site. A self-edge — re-acquiring
+// a lock already held, or locking two instances of the same field,
+// which the engine cannot tell apart — is a one-node cycle.
+
+var lockorderCheck = &Check{
+	Name: "lockorder",
+	Doc:  "no cycles in the mutex acquisition order across any call path",
+	Run: func(pass *Pass) {
+		edges := pass.Prog.Facts().lockOrderEdges()
+		if len(edges) == 0 {
+			return
+		}
+
+		// Dedupe by (from, to), keeping the earliest position so the
+		// report (and its suppression site) is stable.
+		type key struct{ from, to string }
+		best := make(map[key]lockEdge)
+		adj := make(map[string][]string)
+		disp := make(map[string]string)
+		for _, e := range edges {
+			k := key{e.from.key, e.to.key}
+			cur, ok := best[k]
+			if !ok || e.pos < cur.pos {
+				best[k] = e
+			}
+			if !ok {
+				adj[e.from.key] = append(adj[e.from.key], e.to.key)
+			}
+			disp[e.from.key] = e.from.disp
+			disp[e.to.key] = e.to.disp
+		}
+
+		scc := stronglyConnected(adj)
+		compOf := make(map[string]int)
+		for i, comp := range scc {
+			for _, v := range comp {
+				compOf[v] = i
+			}
+		}
+
+		var cyclic []lockEdge
+		for k, e := range best {
+			if k.from == k.to {
+				cyclic = append(cyclic, e) // self-cycle
+				continue
+			}
+			if ci, ok := compOf[k.from]; ok && compOf[k.to] == ci && len(scc[ci]) > 1 {
+				cyclic = append(cyclic, e)
+			}
+		}
+		sort.Slice(cyclic, func(i, j int) bool { return cyclic[i].pos < cyclic[j].pos })
+
+		for _, e := range cyclic {
+			if e.from.key == e.to.key {
+				pass.ReportPos(e.pkg, e.pos,
+					"%s acquired while already held%s — self-deadlock (or two instances of one lock field, which this check cannot distinguish)",
+					e.from.disp, viaSuffix(e.via))
+				continue
+			}
+			members := sccMembers(scc[compOf[e.from.key]], disp, e.from.disp)
+			pass.ReportPos(e.pkg, e.pos,
+				"%s acquired while holding %s%s — completes a lock-order cycle (%s)",
+				e.to.disp, e.from.disp, viaSuffix(e.via), members)
+		}
+	},
+}
+
+func viaSuffix(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " " + via
+}
+
+// sccMembers renders the cycle's lock set, rotated to start at the
+// reported edge's holder so every report of one cycle names it the
+// same way.
+func sccMembers(comp []string, disp map[string]string, first string) string {
+	names := make([]string, 0, len(comp))
+	for _, k := range comp {
+		names = append(names, disp[k])
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		if n == first {
+			names = append(names[i:], names[:i]...)
+			break
+		}
+	}
+	return strings.Join(append(names, names[0]), " -> ")
+}
+
+// stronglyConnected returns Tarjan's strongly connected components for
+// the string-keyed adjacency list, in deterministic order.
+func stronglyConnected(adj map[string][]string) [][]string {
+	verts := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	addV := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			verts = append(verts, v)
+		}
+	}
+	keys := make([]string, 0, len(adj))
+	for v := range adj {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		addV(v)
+		sorted := append([]string(nil), adj[v]...)
+		sort.Strings(sorted)
+		adj[v] = sorted
+		for _, w := range sorted {
+			addV(w)
+		}
+	}
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range verts {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+	return comps
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF output (Static Analysis Results Interchange Format, OASIS
+// 2.1.0) is what GitHub code scanning, VS Code SARIF viewers and most
+// CI dashboards ingest. rrlint emits the minimal-but-valid shape: one
+// run, the rrlint driver with every registered check as a rule, and
+// one result per diagnostic with a physical location. File URIs are
+// emitted with forward slashes as the spec requires.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// SARIF renders the diagnostics as an indented SARIF 2.1.0 log. Every
+// registered check appears as a rule (stable indices) even when it has
+// no results, so a dashboard can tell "check ran clean" from "check
+// did not run".
+func SARIF(diags []Diagnostic) ([]byte, error) {
+	var rules []sarifRule
+	ruleIndex := make(map[string]int)
+	for i, c := range Checks() {
+		rules = append(rules, sarifRule{ID: c.Name, ShortDescription: sarifMessage{Text: c.Doc}})
+		ruleIndex[c.Name] = i
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Check]
+		if !ok {
+			idx = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Check,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.File)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rrlint", InformationURI: "https://github.com/relaxreplay/relaxreplay", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestSARIFShape pins the SARIF 2.1.0 surface GitHub code scanning
+// requires: schema/version header, a driver with one rule per
+// registered check, and results whose ruleId/ruleIndex agree with the
+// rules array and whose regions carry the diagnostic positions.
+func TestSARIFShape(t *testing.T) {
+	dir := filepath.Join("testdata", "blockinglock")
+	prog := loadFixture(t, dir)
+	diags, err := Run(prog, []string{"blockinglock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings to serialize")
+	}
+
+	out, err := SARIF(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("$schema missing")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "rrlint" {
+		t.Errorf("driver name = %q, want rrlint", run.Tool.Driver.Name)
+	}
+	checks := Checks()
+	if len(run.Tool.Driver.Rules) != len(checks) {
+		t.Fatalf("got %d rules, want %d (one per registered check)", len(run.Tool.Driver.Rules), len(checks))
+	}
+	for i, c := range checks {
+		if run.Tool.Driver.Rules[i].ID != c.Name {
+			t.Errorf("rules[%d].id = %q, want %q", i, run.Tool.Driver.Rules[i].ID, c.Name)
+		}
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		d := diags[i]
+		if r.RuleID != d.Check {
+			t.Errorf("results[%d].ruleId = %q, want %q", i, r.RuleID, d.Check)
+		}
+		if r.RuleIndex < 0 || r.RuleIndex >= len(checks) || checks[r.RuleIndex].Name != r.RuleID {
+			t.Errorf("results[%d].ruleIndex = %d does not point at rule %q", i, r.RuleIndex, r.RuleID)
+		}
+		if r.Level != "error" {
+			t.Errorf("results[%d].level = %q, want error", i, r.Level)
+		}
+		if r.Message.Text != d.Message {
+			t.Errorf("results[%d] message mismatch: %q != %q", i, r.Message.Text, d.Message)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("results[%d]: %d locations, want 1", i, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || filepath.IsAbs(loc.ArtifactLocation.URI) && loc.ArtifactLocation.URI != filepath.ToSlash(d.File) {
+			t.Errorf("results[%d] uri = %q", i, loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine != d.Line || loc.Region.StartColumn != d.Col {
+			t.Errorf("results[%d] region = %d:%d, want %d:%d", i, loc.Region.StartLine, loc.Region.StartColumn, d.Line, d.Col)
+		}
+	}
+}
+
+// TestSARIFEmpty: a clean run still yields a well-formed log with an
+// empty (non-null) results array, which code scanning accepts as
+// "no alerts".
+func TestSARIFEmpty(t *testing.T) {
+	out, err := SARIF(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil {
+		t.Errorf("empty run must still carry runs[0].results = []")
+	}
+}

@@ -1,0 +1,44 @@
+// Package atomicmix is the rrlint fixture for the atomicmix check:
+// a field incremented through sync/atomic but also read and written
+// plainly (findings at every plain site), a suppressed
+// pre-publication initialization, and clean fields (a typed atomic
+// wrapper and a purely plain counter).
+package atomicmix
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  uint64
+	safe  atomic.Uint64
+	plain uint64
+}
+
+func (c *Counter) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// read loads hits without atomic: a race with inc.
+func (c *Counter) read() uint64 {
+	return c.hits // want: plain access of an atomically-accessed field
+}
+
+// reset stores plainly for the same field.
+func (c *Counter) reset() {
+	c.hits = 0 // want: plain store
+}
+
+// newCounter initializes before the value is shared: acknowledged
+// with a suppression at the plain site.
+func newCounter() *Counter {
+	c := &Counter{}
+	c.hits = 0 //rrlint:allow atomicmix -- fixture: pre-publication init, not yet shared
+	return c
+}
+
+// ok uses the typed wrapper (mix-proof by construction) and a field
+// that is only ever plain: no findings.
+func (c *Counter) ok() uint64 {
+	c.safe.Add(1)
+	c.plain++
+	return c.safe.Load() + c.plain
+}

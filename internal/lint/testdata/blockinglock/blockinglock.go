@@ -1,0 +1,73 @@
+// Package blockinglock is the rrlint fixture for the blockinglock
+// check: an fsync while a mutex is held (the seeded
+// fsync-while-locked case), blocking through a callee, a channel send
+// under lock, a suppressed audited barrier, the misplaced-suppression
+// case (an allow on the callee's line must not silence the caller's
+// reported site), and a clean sleep-after-unlock.
+package blockinglock
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+	ch chan int
+}
+
+// commit fsyncs while holding mu: direct finding at the Sync call.
+func (j *Journal) commit() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync() // want: os.File.Sync while holding mu
+}
+
+// pause blocks through a callee: the finding lands on the call site
+// in the frame that holds the lock.
+func (j *Journal) pause() {
+	j.mu.Lock()
+	nap() // want: call blocks (time.Sleep) while holding mu
+	j.mu.Unlock()
+}
+
+func nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// publish sends on a channel under the lock.
+func (j *Journal) publish(v int) {
+	j.mu.Lock()
+	j.ch <- v // want: channel send while holding mu
+	j.mu.Unlock()
+}
+
+// barrier is the audited exception: fsync-under-lock as a group-commit
+// durability barrier, suppressed at the reported site.
+func (j *Journal) barrier() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync() //rrlint:allow blockinglock -- fixture: audited group-commit barrier
+}
+
+// misplacedAllow calls a callee whose own line carries an allow
+// comment. The reported site is HERE (the frame holding the lock), so
+// that comment suppresses nothing and the finding still fires.
+func (j *Journal) misplacedAllow() {
+	j.mu.Lock()
+	napAllowed() // want: still reported; the callee's allow is not at this site
+	j.mu.Unlock()
+}
+
+func napAllowed() {
+	time.Sleep(time.Millisecond) //rrlint:allow blockinglock -- wrong site: the check reports in the caller's frame
+}
+
+// cleanPause sleeps only after releasing the lock: no finding.
+func (j *Journal) cleanPause() {
+	j.mu.Lock()
+	j.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

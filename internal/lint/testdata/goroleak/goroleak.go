@@ -1,0 +1,89 @@
+// Package goroleak is the rrlint fixture for the goroleak check: an
+// unsupervised goroutine literal and an unsupervised named launch
+// (findings), a clean WaitGroup-supervised worker, a clean
+// done-channel loop, a clean context launch, and a suppressed
+// process-lifetime loop.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+type Worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// leak launches a loop nothing can stop: finding at the go statement.
+func (w *Worker) leak() {
+	go func() { // want: no visible termination path
+		for {
+			step()
+		}
+	}()
+}
+
+// leakNamed launches a named spinner with the same problem.
+func (w *Worker) leakNamed() {
+	go spin() // want: no visible termination path
+}
+
+func spin() {
+	for {
+		step()
+	}
+}
+
+// supervised joins the goroutine through the WaitGroup: clean.
+func (w *Worker) supervised() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		step()
+	}()
+	w.wg.Wait()
+}
+
+// doneChannel polls a stop channel visible at the launch site: clean.
+func (w *Worker) doneChannel() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				return
+			default:
+			}
+			step()
+		}
+	}()
+}
+
+// announce closes a launcher-visible channel when finished (the other
+// half of the done-channel pattern): clean.
+func (w *Worker) announce() chan struct{} {
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		step()
+	}()
+	return finished
+}
+
+// withContext hands the goroutine a context: cancellation visibly
+// reaches it. Clean.
+func (w *Worker) withContext(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// background is an acknowledged process-lifetime loop: suppressed at
+// the launch site.
+func (w *Worker) background() {
+	go spin() //rrlint:allow goroleak -- fixture: process-lifetime loop by design
+}
+
+func step() {}

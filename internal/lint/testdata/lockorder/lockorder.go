@@ -1,0 +1,92 @@
+// Package lockorder is the rrlint fixture for the lockorder check: a
+// two-mutex acquisition cycle (one direction direct, the other through
+// a callee — the known-deadlock shape), a self-deadlock via a call, a
+// suppressed pair, and a clean pair locked in a consistent order.
+package lockorder
+
+import "sync"
+
+type Store struct {
+	mu  sync.Mutex
+	idx sync.Mutex
+}
+
+// lockBoth takes mu then idx: one direction of the cycle.
+func (s *Store) lockBoth() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.Lock() // want: idx acquired while holding mu
+	defer s.idx.Unlock()
+}
+
+// lockReverse takes idx then, via a callee, mu: the other direction.
+// The engine sees the edge through touch's summary.
+func (s *Store) lockReverse() {
+	s.idx.Lock()
+	defer s.idx.Unlock()
+	s.touch() // want: call acquires mu while idx held
+}
+
+func (s *Store) touch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// relock re-acquires mu through a callee while already holding it:
+// a one-lock cycle (guaranteed self-deadlock for sync.Mutex).
+func (s *Store) relock() {
+	s.mu.Lock()
+	s.again() // want: self-deadlock
+	s.mu.Unlock()
+}
+
+func (s *Store) again() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Pair's inconsistent order is acknowledged with suppressions on both
+// reported edges: no findings.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *Pair) ab() {
+	p.a.Lock()
+	p.b.Lock() //rrlint:allow lockorder -- fixture: suppressed direction
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) ba() {
+	p.b.Lock()
+	p.a.Lock() //rrlint:allow lockorder -- fixture: suppressed direction
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Clean locks first before second on every path (directly and through
+// a callee): a consistent partial order, no findings.
+type Clean struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+func (c *Clean) one() {
+	c.first.Lock()
+	c.second.Lock()
+	c.second.Unlock()
+	c.first.Unlock()
+}
+
+func (c *Clean) two() {
+	c.first.Lock()
+	defer c.first.Unlock()
+	c.lockSecond()
+}
+
+func (c *Clean) lockSecond() {
+	c.second.Lock()
+	c.second.Unlock()
+}

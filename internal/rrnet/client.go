@@ -729,7 +729,7 @@ type clientConn struct {
 
 func newClientConn(nc net.Conn, fr *frameReader) *clientConn {
 	cc := &clientConn{nc: nc, sig: make(chan struct{}, 1)}
-	go cc.readLoop(fr)
+	go cc.readLoop(fr) //rrlint:allow goroleak -- exits when the conn closes: every read on a closed conn errors out
 	return cc
 }
 

@@ -377,6 +377,7 @@ func (s *Server) applyChunk(sess *serverSession, seq uint64, data []byte) (conti
 	case seq < sess.contig:
 		s.mDups.Inc(0)
 	case seq == sess.contig:
+		//rrlint:allow blockinglock -- journal-first durability: the group-commit fsync barrier runs under sess.mu by design (DESIGN §17)
 		if err := s.extend(sess, data); err != nil {
 			return sess.contig, sess.durable.Load(), err
 		}
@@ -386,6 +387,7 @@ func (s *Server) applyChunk(sess *serverSession, seq uint64, data []byte) (conti
 				break
 			}
 			delete(sess.pending, sess.contig)
+			//rrlint:allow blockinglock -- same barrier as above for the reordered-chunk drain
 			if err := s.extend(sess, next); err != nil {
 				return sess.contig, sess.durable.Load(), err
 			}
@@ -432,6 +434,7 @@ func (s *Server) flushIdle() error {
 	var snap map[uint64]uint64
 	var err error
 	if s.jr.sinceSync > 0 {
+		//rrlint:allow blockinglock -- jmu exists to serialize the journal; the idle-flush fsync must run under it
 		if err = s.jr.barrier(); err == nil {
 			snap = s.watermarksLocked()
 		}
@@ -527,6 +530,7 @@ func (s *Server) commitSession(sess *serverSession, m commitMsg) (commitAckMsg, 
 		s.mRejects.Inc(0)
 	}
 	s.jmu.Lock()
+	//rrlint:allow blockinglock -- the COMMIT record must be durable before the ack leaves; fsync under jmu is the contract
 	err := s.jr.Commit(sess.id, ack.Status, m.Chunks, m.LogLen, m.LogCRC, m.NDrop, ack.Missing, ack.Reason)
 	var snap map[uint64]uint64
 	if err == nil {
@@ -554,6 +558,7 @@ func (s *Server) commitSession(sess *serverSession, m commitMsg) (commitAckMsg, 
 func (s *Server) journalSession(id uint64, tenant string) (map[uint64]uint64, error) {
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
+	//rrlint:allow blockinglock -- journal append may group-commit fsync; jmu serializes the journal by design
 	synced, err := s.jr.Session(id, tenant)
 	if err != nil {
 		return nil, err
@@ -570,6 +575,7 @@ func (s *Server) journalSession(id uint64, tenant string) (map[uint64]uint64, er
 func (s *Server) journalChunk(id, seq uint64, data []byte) (map[uint64]uint64, error) {
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
+	//rrlint:allow blockinglock -- journal append may group-commit fsync; jmu serializes the journal by design
 	synced, err := s.jr.Chunk(id, seq, data)
 	if err != nil {
 		return nil, err
@@ -639,6 +645,7 @@ func (s *Server) Shutdown() error {
 	s.mu.Unlock()
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
+	//rrlint:allow blockinglock -- shutdown's final fsync; nothing else can hold jmu once closed is set
 	return s.jr.Close()
 }
 

@@ -14,6 +14,7 @@ func StartPprof(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	//rrlint:allow goroleak -- debug endpoint lives for the process; operators kill it with the process
 	go func() {
 		// DefaultServeMux carries the pprof handlers registered by the
 		// net/http/pprof import.
