@@ -261,6 +261,19 @@ type System struct {
 	performsSpare    []PerformEvent
 	completionsSpare []Completion
 
+	// Core-phase staging (BeginCorePhase/EndCorePhase). While staged,
+	// the submit path — which the sharded machine runs concurrently,
+	// one goroutine per shard of cores — routes every touch of
+	// machine-global state (the event heap, the ring, the aggregate
+	// Stats) into per-core buffers that only the submitting core's
+	// shard writes. The coordinator replays them at the epoch barrier
+	// in core order, reproducing the serial loop's event sequence
+	// numbers and ring injection order exactly.
+	staged     bool
+	stageStats []Stats
+	stageCompl [][]stagedCompletion
+	stageSends [][]interconnect.Message
+
 	// OnPerform, when set, receives every perform event synchronously,
 	// at the exact point within the cycle where the value binds. This
 	// preserves the true intra-cycle order between performs and
@@ -528,6 +541,79 @@ func (s *System) DrainCompletions() []Completion {
 	return out
 }
 
+// stagedCompletion defers one System.complete issued during the
+// sharded core phase until the epoch barrier.
+type stagedCompletion struct {
+	core  int
+	id    uint64
+	value uint64
+	delay uint64
+}
+
+// BeginCorePhase enters staged mode for one cycle's core phase: until
+// EndCorePhase, the submit path (the only System entry point invoked
+// outside Tick) appends its cross-core effects — scheduled
+// completions, ring injections, Stats increments — to per-core
+// buffers instead of touching the shared structures. Each buffer is
+// written only by the shard that owns its core, so the core phase is
+// data-race-free without locks. Memory-phase entry points (Tick,
+// receive, grant) must not run while staged.
+func (s *System) BeginCorePhase() {
+	if s.stageStats == nil {
+		s.stageStats = make([]Stats, s.cfg.Cores)
+		s.stageCompl = make([][]stagedCompletion, s.cfg.Cores)
+		s.stageSends = make([][]interconnect.Message, s.cfg.Cores)
+	}
+	s.staged = true
+}
+
+// EndCorePhase leaves staged mode and replays the staged effects in
+// core order 0..Cores-1, preserving each core's submission order.
+// That is exactly the order the serial loop produces (core i ticks
+// before core i+1), so event sequence numbers — and therefore every
+// downstream perform, completion and snoop ordering — are identical
+// to the unsharded run.
+func (s *System) EndCorePhase() {
+	s.staged = false
+	for core := 0; core < s.cfg.Cores; core++ {
+		s.Stats.AddScaled(s.stageStats[core], 1)
+		s.stageStats[core] = Stats{}
+		for _, sc := range s.stageCompl[core] {
+			s.complete(sc.core, sc.id, sc.value, sc.delay)
+		}
+		s.stageCompl[core] = s.stageCompl[core][:0]
+		for _, msg := range s.stageSends[core] {
+			s.ring.Send(msg)
+		}
+		s.stageSends[core] = s.stageSends[core][:0]
+	}
+}
+
+// statsFor returns the Stats sink for a submit-path increment on
+// behalf of core: the shared aggregate when serial, the core's
+// staging slot during a sharded core phase.
+//
+//rrlint:handoff
+func (s *System) statsFor(core int) *Stats {
+	if s.staged {
+		return &s.stageStats[core]
+	}
+	return &s.Stats
+}
+
+// send injects a ring message on behalf of core, staging it during a
+// sharded core phase (the ring's injection queues and max-depth
+// counter are machine-global).
+//
+//rrlint:handoff
+func (s *System) send(core int, msg interconnect.Message) {
+	if s.staged {
+		s.stageSends[core] = append(s.stageSends[core], msg)
+		return
+	}
+	s.ring.Send(msg)
+}
+
 func (s *System) dispatch(d interconnect.Delivery) {
 	if d.Node == s.cfg.Cores {
 		if d.Final {
@@ -538,6 +624,11 @@ func (s *System) dispatch(d interconnect.Delivery) {
 	s.l1s[d.Node].receive(d.Msg, d.Final)
 }
 
+// at schedules an arbitrary protocol action on the machine-global
+// event heap. Memory-phase only: the heap and the sequence counter
+// are coordinator-owned.
+//
+//rrlint:coordinator
 func (s *System) at(delay uint64, fn func()) {
 	e := s.takeEvent()
 	e.cycle = s.cycle + delay
@@ -546,9 +637,11 @@ func (s *System) at(delay uint64, fn func()) {
 }
 
 // takeEvent returns a reset event box with a fresh sequence number,
-// reusing a fired one when available.
+// reusing a fired one when available. Coordinator-owned: the sequence
+// counter and free list are machine-global.
 //
 //rrlint:hotpath
+//rrlint:coordinator
 func (s *System) takeEvent() *event {
 	s.eventSeq++
 	var e *event
@@ -576,9 +669,17 @@ func (s *System) perform(ev PerformEvent) {
 // complete schedules a pipeline completion notification. It is the
 // highest-traffic event kind, so instead of a closure it uses a tagged
 // event (fn == nil) whose payload rides in the event box itself.
+// During a sharded core phase the completion is staged per core and
+// scheduled at the epoch barrier (same cycle, so the delay reproduces
+// the identical fire cycle).
 //
 //rrlint:hotpath
+//rrlint:handoff
 func (s *System) complete(core int, id uint64, value uint64, delay uint64) {
+	if s.staged {
+		s.stageCompl[core] = append(s.stageCompl[core], stagedCompletion{core: core, id: id, value: value, delay: delay}) //rrlint:allow hotpath-alloc (amortized append into reused buffer)
+		return
+	}
 	e := s.takeEvent()
 	e.cycle = s.cycle + delay
 	e.core, e.id, e.value = core, id, value

@@ -523,6 +523,7 @@ func (r *Recorder) push(e *traqEntry) {
 // perform time).
 //
 //rrlint:hotpath
+//rrlint:shardphase
 func (r *Recorder) Perform(seq uint64, addr uint64, isRead, isWrite bool, value, storedVal uint64, didWrite bool) {
 	e := r.bySeq[seq]
 	if e == nil {
@@ -774,6 +775,7 @@ func (r *Recorder) logEntry(e replaylog.Entry) {
 // order. It also samples TRAQ occupancy for Figure 12.
 //
 //rrlint:hotpath
+//rrlint:shardphase
 func (r *Recorder) Tick(cycle uint64) {
 	r.Stats.TRAQOccupancySum += uint64(len(r.traq))
 	r.Stats.TRAQSamples++

@@ -118,6 +118,9 @@ func NewSession(mcfg machine.Config, rcfg Config, w Workload) (*Session, error) 
 		}
 	}
 	m := machine.New(mcfg, w.Progs, hookFor)
+	// The recorder tick rides the machine's core phase, so a sharded
+	// run keeps each recorder on the shard that owns its core.
+	m.ExtraTick = func(core int, cycle uint64) { recs[core].Tick(cycle) }
 	m.InitMemory(w.InitMem)
 	for i, in := range w.Inputs {
 		m.SetInputs(i, in)
@@ -150,106 +153,73 @@ func NewSession(mcfg machine.Config, rcfg Config, w Workload) (*Session, error) 
 	}, nil
 }
 
-// step advances the machine and every recorder one cycle.
-func (s *Session) step() {
-	m := s.M
-	m.Step()
-	for _, r := range s.Recorders {
-		r.Tick(m.Cycle())
-	}
-	if s.samp.every != 0 && m.Cycle()%s.samp.every == 0 {
-		s.sample(m.Cycle())
-	}
-}
-
-// workCount extends the machine's mutation counter with recorder
-// progress: every entry drained from a TRAQ bumps Stats.Counted, so a
-// tick across which the sum is frozen also left every recorder's
-// architectural state untouched (only its per-cycle occupancy
-// statistics moved).
-func (s *Session) workCount() uint64 {
-	w := s.M.WorkCount()
-	for _, r := range s.Recorders {
-		w += r.Stats.Counted
-	}
-	return w
-}
-
 // Run records the workload to completion and returns the log.
 //
-// Like machine.Run, it skips provably idle stretches when fast-forward
-// is enabled (see machine.Config.NoFastForward): after two consecutive
-// ticks with no machine or recorder state mutation, the clock jumps to
-// the next pending wake-up while the per-cycle statistics deltas —
-// including the recorders' TRAQ occupancy tallies — are replayed for
-// every skipped cycle. Recorded logs and all statistics are
-// bit-identical to the fully ticked run.
+// The cycle loop itself is machine.RunWith — one shared driver for
+// the bare machine and the recording session — parameterized here
+// with the recorder side: TRAQ drain keeps the loop alive after the
+// machine quiesces, recorder work counters join the fast-forward's
+// frozen-tick test, and recorder statistics snapshots ride the idle
+// delta replay. Like machine.Run, idle stretches are skipped when
+// fast-forward is enabled (see machine.Config.NoFastForward) and the
+// result — recorded logs and all statistics — is bit-identical to
+// the fully ticked run. Config.Shards likewise changes nothing
+// observable: the recorders tick on the shard owning their core, and
+// the logs stay byte-identical to the serial loop.
 func (s *Session) Run() (*Result, error) {
 	m := s.M
-	ff := m.FastForwardEnabled() && s.rcfg.Faults == nil
-	prev := s.workCount()
-	var snap machine.StatsSnapshot
 	recSnap := make([]Stats, len(s.Recorders))
-	for {
-		done := m.Done()
-		if done {
+	err := m.RunWith(machine.Driver{
+		ExtraBusy: func() bool {
 			for _, r := range s.Recorders {
 				if r.Busy() {
-					done = false
-					break
+					return true
 				}
 			}
-		}
-		if done {
-			break
-		}
-		if m.Cycle() >= m.Config().MaxCycles {
-			return nil, &machine.StallError{Cycles: m.Config().MaxCycles, Cores: m.CoreSnapshots()}
-		}
-		s.step()
-		for _, c := range m.Cores {
-			if err := c.Err(); err != nil {
-				return nil, fmt.Errorf("core: recording: core %d: %w", c.ID(), err)
+			return false
+		},
+		// Every entry drained from a TRAQ bumps Stats.Counted, so a
+		// tick across which this sum is frozen also left every
+		// recorder's architectural state untouched (only its
+		// per-cycle occupancy statistics moved).
+		ExtraWork: func() uint64 {
+			var w uint64
+			for _, r := range s.Recorders {
+				w += r.Stats.Counted
 			}
-		}
-		if !ff {
-			continue
-		}
-		w := s.workCount()
-		if w != prev || m.Cycle() >= m.Config().MaxCycles {
-			prev = w
-			continue
-		}
-		// Frozen tick observed. Measure the per-cycle statistics delta
-		// over one more tick; if that one is frozen too, skip ahead.
-		m.CaptureStats(&snap)
-		for i, r := range s.Recorders {
-			recSnap[i] = r.Stats
-		}
-		s.step()
-		if w2 := s.workCount(); w2 != w {
-			prev = w2
-			continue
-		}
-		target := m.Config().MaxCycles
-		if wake, ok := m.NextWakeCycle(); ok && wake-1 < target {
-			// Resume ticking at wake-1 so the next step lands exactly
-			// on the wake cycle.
-			target = wake - 1
-		}
-		if target > m.Cycle() {
-			n := target - m.Cycle()
-			m.ReplayIdleDelta(&snap, n)
+			return w
+		},
+		EndCycle: func(cycle uint64) {
+			if s.samp.every != 0 && cycle%s.samp.every == 0 {
+				s.sample(cycle)
+			}
+		},
+		CaptureExtra: func() {
+			for i, r := range s.Recorders {
+				recSnap[i] = r.Stats
+			}
+		},
+		ReplayExtra: func(n uint64) {
 			for i, r := range s.Recorders {
 				r.Stats.AddScaled(r.Stats.Sub(recSnap[i]), n)
 			}
-			m.SkipTo(target)
-		}
-		prev = w
+		},
+		// Close every sampled track at the exact end of the run.
+		FinalSample: func() {
+			m.SampleTelemetry()
+			s.sample(m.Cycle())
+		},
+		// Recorder-side fault points observe individual cycles, so
+		// fault injection disables fast-forward here even when the
+		// machine config alone would allow it.
+		DisableFF: s.rcfg.Faults != nil,
+		WrapErr: func(core int, err error) error {
+			return fmt.Errorf("core: recording: core %d: %w", core, err)
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Close every sampled track at the exact end of the run.
-	m.SampleTelemetry()
-	s.sample(m.Cycle())
 
 	log := &replaylog.Log{
 		Cores:   m.Config().Cores,

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"relaxreplay/internal/coherence"
+	"relaxreplay/internal/isa"
+	"relaxreplay/internal/machine"
+	"relaxreplay/internal/workload"
+)
+
+// The sharded run loop's correctness contract is the same total
+// invisibility the fast-forward promises: machine.Config.Shards is a
+// throughput knob that must not change one byte of the recorded log
+// or one count in any statistic. These tests record the same
+// workloads serially and sharded and compare everything.
+
+// recordShards records w with the given shard count and returns the
+// result.
+func recordShards(t *testing.T, w Workload, cores, shards int) *Result {
+	t.Helper()
+	mcfg := machineConfig(cores, coherence.Snoopy)
+	mcfg.Shards = shards
+	s, err := NewSession(mcfg, DefaultConfig(Opt), w)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("record (shards=%d): %v", shards, err)
+	}
+	return res
+}
+
+func TestShardDeterminism(t *testing.T) {
+	var cases []struct {
+		name  string
+		w     Workload
+		cores int
+	}
+	for _, l := range workload.AllLitmus() {
+		cases = append(cases, struct {
+			name  string
+			w     Workload
+			cores int
+		}{l.Name, Workload{Name: l.Name, Progs: l.Progs, Inputs: l.Inputs, InitMem: l.InitMem}, len(l.Progs)})
+	}
+	fft := workload.FFT(4, 1)
+	cases = append(cases, struct {
+		name  string
+		w     Workload
+		cores int
+	}{"fft", Workload{Name: fft.Name, Progs: fft.Progs, Inputs: fft.Inputs, InitMem: fft.InitMem}, 4})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := recordShards(t, tc.w, tc.cores, 1)
+			for _, shards := range []int{2, 4} {
+				if shards > tc.cores {
+					continue
+				}
+				sharded := recordShards(t, tc.w, tc.cores, shards)
+				if serial.Cycles != sharded.Cycles {
+					t.Errorf("shards=%d: cycles %d, serial %d", shards, sharded.Cycles, serial.Cycles)
+				}
+				if !bytes.Equal(encodeLog(t, serial.Log), encodeLog(t, sharded.Log)) {
+					t.Errorf("shards=%d: encoded log differs from serial", shards)
+				}
+				if !reflect.DeepEqual(serial.CoreStats, sharded.CoreStats) {
+					t.Errorf("shards=%d: core stats differ:\n serial:  %+v\n sharded: %+v", shards, serial.CoreStats, sharded.CoreStats)
+				}
+				if !reflect.DeepEqual(serial.RecStats, sharded.RecStats) {
+					t.Errorf("shards=%d: recorder stats differ:\n serial:  %+v\n sharded: %+v", shards, serial.RecStats, sharded.RecStats)
+				}
+				if !reflect.DeepEqual(serial.MemStats, sharded.MemStats) {
+					t.Errorf("shards=%d: memory stats differ:\n serial:  %+v\n sharded: %+v", shards, serial.MemStats, sharded.MemStats)
+				}
+				if !reflect.DeepEqual(serial.FinalMemory, sharded.FinalMemory) {
+					t.Errorf("shards=%d: final memory differs", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardDeterminismHighContention drives the epoch barrier with the
+// nastiest sharing pattern the workload library has — a CAS spinlock
+// every core fights over — across several shard counts, including ones
+// that split the contending cores mid-range. Run under -race this is
+// also the data-race hammer for the staged submit path.
+func TestShardDeterminismHighContention(t *testing.T) {
+	const cores = 4
+	w := spinlockWorkload(cores, 40)
+	serial := recordShards(t, w, cores, 1)
+	for _, shards := range []int{2, 3, 4} {
+		sharded := recordShards(t, w, cores, shards)
+		if serial.Cycles != sharded.Cycles {
+			t.Errorf("shards=%d: cycles %d, serial %d", shards, sharded.Cycles, serial.Cycles)
+		}
+		if !bytes.Equal(encodeLog(t, serial.Log), encodeLog(t, sharded.Log)) {
+			t.Errorf("shards=%d: encoded log differs from serial", shards)
+		}
+		if !reflect.DeepEqual(serial.RecStats, sharded.RecStats) {
+			t.Errorf("shards=%d: recorder stats differ", shards)
+		}
+	}
+}
+
+// TestShardFastForwardCompose proves the two run-loop optimizations
+// compose: a sharded, fast-forwarded run still matches the fully
+// ticked serial run byte for byte.
+func TestShardFastForwardCompose(t *testing.T) {
+	fft := workload.FFT(4, 1)
+	w := Workload{Name: fft.Name, Progs: fft.Progs, Inputs: fft.Inputs, InitMem: fft.InitMem}
+
+	mcfg := machineConfig(4, coherence.Snoopy)
+	mcfg.NoFastForward = true
+	s, err := NewSession(mcfg, DefaultConfig(Opt), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticked, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mcfg2 := machineConfig(4, coherence.Snoopy)
+	mcfg2.Shards = 2
+	s2, err := NewSession(mcfg2, DefaultConfig(Opt), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.M.FastForwardedCycles() == 0 {
+		t.Error("fast-forward never engaged under sharding; the composition test proves nothing")
+	}
+	if ticked.Cycles != both.Cycles {
+		t.Errorf("cycles: ticked serial %d, sharded+ff %d", ticked.Cycles, both.Cycles)
+	}
+	if !bytes.Equal(encodeLog(t, ticked.Log), encodeLog(t, both.Log)) {
+		t.Error("encoded logs differ between ticked-serial and sharded+fast-forwarded runs")
+	}
+}
+
+// TestProbeTickErrorSessionLoop is the session-level half of the
+// probe-tick regression (see machine.TestProbeTickErrorNotSwallowed):
+// a core error landing on the fast-forward probe tick must surface
+// from Session.Run at its true cycle and must not be masked as a
+// *StallError when it coincides with the MaxCycles boundary.
+func TestProbeTickErrorSessionLoop(t *testing.T) {
+	b := isa.NewBuilder("probe-err")
+	b.Li(isa.R(3), 7)
+	b.Mul(isa.R(3), isa.R(3), isa.R(3))
+	b.In(isa.R(4))
+	b.Halt()
+	prog := b.MustBuild()
+	w := Workload{Name: "probe-err", Progs: []isa.Program{prog}}
+
+	record := func(lat, maxCycles uint64, noFF bool) (uint64, error) {
+		mcfg := machineConfig(1, coherence.Snoopy)
+		mcfg.CPU.MulLat = lat
+		mcfg.NoFastForward = noFF
+		if maxCycles != 0 {
+			mcfg.MaxCycles = maxCycles
+		}
+		s, err := NewSession(mcfg, DefaultConfig(Opt), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Run()
+		return s.M.Cycle(), err
+	}
+
+	for lat := uint64(1); lat <= 30; lat++ {
+		tickedCycle, errTicked := record(lat, 0, true)
+		if !errors.Is(errTicked, isa.ErrOutOfInput) {
+			t.Fatalf("lat=%d: ticked: got %v, want ErrOutOfInput", lat, errTicked)
+		}
+		ffCycle, errFF := record(lat, 0, false)
+		if !errors.Is(errFF, isa.ErrOutOfInput) {
+			t.Errorf("lat=%d: fast-forwarded: got %v, want ErrOutOfInput", lat, errFF)
+		}
+		if ffCycle != tickedCycle {
+			t.Errorf("lat=%d: error at cycle %d fast-forwarded, %d ticked", lat, ffCycle, tickedCycle)
+		}
+		_, errPinned := record(lat, tickedCycle, false)
+		var stall *machine.StallError
+		if errors.As(errPinned, &stall) {
+			t.Errorf("lat=%d: core error at the MaxCycles boundary masked as %v", lat, errPinned)
+		} else if !errors.Is(errPinned, isa.ErrOutOfInput) {
+			t.Errorf("lat=%d: pinned: got %v, want ErrOutOfInput", lat, errPinned)
+		}
+	}
+}

@@ -104,6 +104,8 @@ func (c *Core) ID() int { return c.id }
 // bound its value this cycle. It may be called synchronously from
 // inside a Submit, so it must not mutate the pipeline queues; a
 // performed write-buffer store is swept out by drainWB.
+//
+//rrlint:shardphase
 func (c *Core) HandlePerform(ev coherence.PerformEvent) {
 	u := c.bySeq[ev.ID]
 	if u == nil {
@@ -114,6 +116,8 @@ func (c *Core) HandlePerform(ev coherence.PerformEvent) {
 
 // HandleCompletion delivers the pipeline notification for a load, RMW
 // or store submitted to the memory system.
+//
+//rrlint:shardphase
 func (c *Core) HandleCompletion(ev coherence.Completion) {
 	u := c.bySeq[ev.ID]
 	if u == nil || u.state == uopDone {
@@ -221,7 +225,11 @@ func (c *Core) pushReady(u *uop) {
 }
 
 // Tick advances the core one cycle. The machine must deliver this
-// cycle's perform and completion events before calling Tick.
+// cycle's perform and completion events before calling Tick. Under the
+// sharded run loop Tick runs on a shard worker, so everything it
+// reaches must be core-local or a coherence staging handoff.
+//
+//rrlint:shardphase
 func (c *Core) Tick(cycle uint64) {
 	c.cycle = cycle
 	if c.err != nil || c.Quiesced() {

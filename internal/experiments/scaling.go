@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"relaxreplay/internal/core"
+	"relaxreplay/internal/machine"
+	"relaxreplay/internal/replaylog"
+	"relaxreplay/internal/stats"
+	"relaxreplay/internal/workload"
+)
+
+// Extension: shard scaling -------------------------------------------------
+
+// ScalingRow reports one (machine size, shard count) cell of the
+// within-run parallelism sweep.
+type ScalingRow struct {
+	Cores     int
+	Shards    int
+	Cycles    uint64  // simulated cycles (identical across shard counts)
+	WallSec   float64 // wall-clock recording time
+	CyclesSec float64 // simulated cycles per wall-clock second
+	Speedup   float64 // vs the 1-shard run of the same machine size
+}
+
+// ExtensionShardScaling sweeps machine.Config.Shards over machines
+// beyond the paper's 8 cores (default 8/16/32/64) and measures
+// recording throughput in simulated cycles per wall-clock second.
+// Every cell records the same FFT workload fresh — the suite cache is
+// deliberately bypassed, both because Shards is not a cache dimension
+// (it cannot change results) and because a cached result has no
+// wall-clock time. Each sharded run's encoded log and cycle count are
+// checked byte-identical against the serial run of the same machine,
+// so the sweep doubles as a large-machine determinism test.
+//
+// Wall-clock numbers are only meaningful relative to the host: the
+// table header records GOMAXPROCS and the CPU count, and speedups on
+// a single-CPU host (like the CI container) hover at or below 1.0 —
+// the barrier overhead with no parallelism to pay for it.
+func (s *Suite) ExtensionShardScaling(coreCounts, shardCounts []int) ([]ScalingRow, *stats.Table, error) {
+	if coreCounts == nil {
+		coreCounts = []int{8, 16, 32, 64}
+	}
+	if shardCounts == nil {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	t := stats.NewTable(fmt.Sprintf("Extension: within-run shard scaling (fft, GOMAXPROCS=%d, NumCPU=%d)",
+		runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		"cores", "shards", "sim cycles", "wall s", "cycles/s", "speedup")
+	var rows []ScalingRow
+	for _, nc := range coreCounts {
+		var baseLog []byte
+		var baseRate float64
+		for _, sh := range shardCounts {
+			if sh > nc {
+				continue
+			}
+			res, wall, err := s.recordScalingCell(nc, sh)
+			if err != nil {
+				return nil, nil, fmt.Errorf("scaling %d cores / %d shards: %w", nc, sh, err)
+			}
+			var buf bytes.Buffer
+			if err := replaylog.Encode(&buf, res.Log); err != nil {
+				return nil, nil, err
+			}
+			enc := buf.Bytes()
+			if baseLog == nil {
+				baseLog = enc
+			} else if !bytes.Equal(baseLog, enc) {
+				return nil, nil, fmt.Errorf("scaling %d cores: %d-shard log differs from serial (determinism violation)", nc, sh)
+			}
+			row := ScalingRow{
+				Cores: nc, Shards: sh, Cycles: res.Cycles,
+				WallSec:   wall.Seconds(),
+				CyclesSec: float64(res.Cycles) / wall.Seconds(),
+			}
+			if baseRate == 0 {
+				baseRate = row.CyclesSec
+			}
+			row.Speedup = row.CyclesSec / baseRate
+			rows = append(rows, row)
+			t.AddRow(fmt.Sprint(nc), fmt.Sprint(sh), fmt.Sprint(row.Cycles),
+				stats.F(row.WallSec, 2), stats.F(row.CyclesSec, 0), stats.F(row.Speedup, 2)+"x")
+		}
+	}
+	return rows, t, nil
+}
+
+// recordScalingCell runs one fresh (uncached) fft recording and times it.
+func (s *Suite) recordScalingCell(cores, shards int) (*core.Result, time.Duration, error) {
+	k := workload.FFT(cores, s.opts.Scale)
+	mcfg := machine.DefaultConfig(cores)
+	mcfg.Mem.Protocol = s.opts.Protocol
+	mcfg.Shards = shards
+	rcfg := core.DefaultConfig(core.Opt)
+	start := time.Now()
+	res, err := core.Record(mcfg, rcfg, core.Workload{
+		Name: k.Name, Progs: k.Progs, Inputs: k.Inputs, InitMem: k.InitMem,
+	})
+	return res, time.Since(start), err
+}

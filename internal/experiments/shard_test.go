@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"relaxreplay/internal/core"
+	"relaxreplay/internal/faultinject"
+	"relaxreplay/internal/replaylog"
+)
+
+// Options.Shards must be invisible in every suite output: the sharded
+// run loop is a throughput knob, not an execution mode. These tests
+// run a spec sample and a chaos-matrix sample serially and sharded
+// and demand byte-identical logs and tables.
+
+func TestSuiteShardDeterminism(t *testing.T) {
+	specs := []Spec{
+		{App: "fft", Variant: core.Opt, Mode: I4K, Cores: 4},
+		{App: "lu", Variant: core.Opt, Mode: I4K, Cores: 4},
+		{App: "radix", Variant: core.Base, Mode: INF, Cores: 4},
+	}
+	run := func(shards int) map[string][]byte {
+		t.Helper()
+		opts := Options{Cores: 4, Scale: 1, Verify: false, ClockGHz: 2.0, Parallelism: 1, Shards: shards}
+		s := NewSuite(opts)
+		if err := s.RecordAll(specs); err != nil {
+			t.Fatalf("shards=%d: RecordAll: %v", shards, err)
+		}
+		logs := make(map[string][]byte, len(specs))
+		for _, sp := range specs {
+			r, err := s.Record(sp.App, sp.Variant, sp.Mode, sp.Cores)
+			if err != nil {
+				t.Fatalf("shards=%d: %v: %v", shards, sp, err)
+			}
+			var buf bytes.Buffer
+			if err := replaylog.Encode(&buf, r.Res.Log); err != nil {
+				t.Fatalf("shards=%d: encode %v: %v", shards, sp, err)
+			}
+			logs[sp.String()] = buf.Bytes()
+		}
+		return logs
+	}
+	serial := run(1)
+	for _, shards := range []int{2, 4} {
+		sharded := run(shards)
+		for _, sp := range specs {
+			if !bytes.Equal(serial[sp.String()], sharded[sp.String()]) {
+				t.Errorf("%v: encoded log differs between serial and %d-shard runs", sp, shards)
+			}
+		}
+	}
+}
+
+// TestShardScalingSmall drives the scaling sweep at a size CI can
+// afford. The driver itself asserts byte-identical logs across shard
+// counts; here we pin the row shape and that simulated cycle counts
+// are shard-invariant.
+func TestShardScalingSmall(t *testing.T) {
+	opts := Options{Cores: 4, Scale: 1, ClockGHz: 2.0}
+	s := NewSuite(opts)
+	rows, table, err := s.ExtensionShardScaling([]int{2, 4}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil || len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 machine sizes x 2 shard counts)", len(rows))
+	}
+	cycles := map[int]uint64{}
+	for _, r := range rows {
+		if r.CyclesSec <= 0 {
+			t.Errorf("%d cores / %d shards: non-positive throughput %f", r.Cores, r.Shards, r.CyclesSec)
+		}
+		if want, seen := cycles[r.Cores]; seen && want != r.Cycles {
+			t.Errorf("%d cores: simulated cycles vary with shard count: %d vs %d", r.Cores, r.Cycles, want)
+		}
+		cycles[r.Cores] = r.Cycles
+	}
+}
+
+// TestChaosShardDeterminism samples the fault matrix sharded: the
+// fault points all fire in the memory phase (interconnect) or at
+// finalize, so a sharded chaos cell must classify exactly like the
+// serial one, table and all.
+func TestChaosShardDeterminism(t *testing.T) {
+	render := func(shards int) string {
+		opts := DefaultOptions()
+		opts.Cores = 2
+		opts.Scale = 1
+		opts.Apps = []string{"fft"}
+		opts.Shards = shards
+		s := NewSuite(opts)
+		inj, err := faultinject.Parse("default@1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.ChaosMatrix(inj)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res.Table.String()
+	}
+	serial := render(1)
+	sharded := render(2)
+	if serial != sharded {
+		t.Errorf("chaos table diverged between serial and sharded runs:\n--- serial ---\n%s--- sharded ---\n%s", serial, sharded)
+	}
+}

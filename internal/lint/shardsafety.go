@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// shardsafety: the sharded run loop (machine.Config.Shards) splits
+// every cycle into a serial memory phase (the coordinator) and a
+// parallel core phase (the shard workers). State that is
+// machine-global — the coherence event heap and its sequence counter,
+// the ring's injection queues, the aggregate Stats — must never be
+// touched from the core phase except through an epoch handoff that
+// stages the effect per core and replays it at the barrier. The
+// ROADMAP calls this the shard-safety invariant; this check makes it
+// a build-time error instead of an -race lottery ticket.
+//
+// Three doc-comment annotations define the roles:
+//
+//   - `//rrlint:shardphase` — the function runs on shard workers
+//     during the core phase (cpu.Core.Tick, the L1 submit path, the
+//     recorder tick, the worker loop itself).
+//   - `//rrlint:coordinator` — the function touches machine-global
+//     state and must only run on the coordinator (heap scheduling,
+//     ring injection).
+//   - `//rrlint:handoff` — the function is an epoch handoff funnel:
+//     it stages its effect during the core phase and is therefore
+//     safe to call from anywhere. Traversal stops here — a handoff's
+//     own unstaged branch may legitimately reach coordinator-only
+//     code (it replays at the barrier).
+//
+// The check walks the shared call graph from every shardphase
+// function, stopping at handoffs, and reports any path that reaches a
+// coordinator-only function — at the call site in the shardphase
+// frame, with the chain that gets there, so the report lands where
+// the fix belongs. Suppressions (`//rrlint:allow shardsafety`) bind
+// to that reported site.
+//
+// Soundness caveats, same spirit as the engine's (DESIGN.md §18):
+// dynamic calls (interface methods, function values) are opaque, so
+// the entry points behind them (e.g. the L1 submit behind
+// cpu.MemPort) carry their own shardphase annotation; and a function
+// with no annotation that mutates global state directly is invisible
+// unless some annotated caller reaches it through an annotated
+// coordinator. The annotations are the contract; the check enforces
+// their composition.
+
+var shardsafetyCheck = &Check{
+	Name: "shardsafety",
+	Doc:  "no //rrlint:shardphase function may reach an //rrlint:coordinator function except through an //rrlint:handoff",
+	Run: func(pass *Pass) {
+		facts := pass.Prog.Facts()
+		roles := collectShardRoles(pass.Prog, facts)
+		reach := coordinatorReach(facts, roles)
+		for _, n := range facts.nodes {
+			if roles.kind(n) != roleShardphase {
+				continue
+			}
+			reported := map[*funcNode]bool{}
+			for _, cs := range n.calls {
+				callee := cs.callee
+				switch roles.kind(callee) {
+				case roleHandoff:
+					continue
+				case roleCoordinator:
+					if !reported[callee] {
+						reported[callee] = true
+						pass.ReportPos(n.pkg, cs.pos,
+							"core-phase function %s calls coordinator-only %s (machine-global state; route it through an epoch handoff)",
+							n.name, callee.name)
+					}
+					continue
+				}
+				for _, target := range sortedReach(reach[callee]) {
+					if reported[target.node] {
+						continue
+					}
+					reported[target.node] = true
+					via := callee.name
+					if target.via != "" {
+						via += " -> " + target.via
+					}
+					pass.ReportPos(n.pkg, cs.pos,
+						"core-phase function %s reaches coordinator-only %s via %s (machine-global state; route it through an epoch handoff)",
+						n.name, target.node.name, via)
+				}
+			}
+		}
+	},
+}
+
+type shardRole int
+
+const (
+	roleNone shardRole = iota
+	roleShardphase
+	roleCoordinator
+	roleHandoff
+)
+
+// shardRoles maps call-graph nodes to their annotated role.
+type shardRoles struct {
+	byNode map[*funcNode]shardRole
+}
+
+func (r shardRoles) kind(n *funcNode) shardRole { return r.byNode[n] }
+
+// collectShardRoles scans every function declaration's doc comment
+// for the three role annotations. A function carrying more than one
+// role keeps the strictest interpretation for traversal: handoff wins
+// (it exists to be called from the core phase), then coordinator.
+func collectShardRoles(prog *Program, facts *Facts) shardRoles {
+	roles := shardRoles{byNode: make(map[*funcNode]shardRole)}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Doc == nil {
+					continue
+				}
+				role := roleNone
+				for _, c := range fd.Doc.List {
+					switch {
+					case strings.Contains(c.Text, "rrlint:handoff"):
+						role = roleHandoff
+					case strings.Contains(c.Text, "rrlint:coordinator") && role != roleHandoff:
+						role = roleCoordinator
+					case strings.Contains(c.Text, "rrlint:shardphase") && role == roleNone:
+						role = roleShardphase
+					}
+				}
+				if role == roleNone {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				if n := facts.byObj[obj]; n != nil {
+					roles.byNode[n] = role
+				}
+			}
+		}
+	}
+	return roles
+}
+
+// coordTarget is one coordinator-only function reachable from a node,
+// with the call chain that reaches it ("" when the node calls it
+// directly).
+type coordTarget struct {
+	node *funcNode
+	via  string
+}
+
+// coordinatorReach computes, for every node, the set of
+// coordinator-only functions its call graph reaches without passing
+// through a handoff. The fixpoint mirrors the engine's summary
+// propagation: entries only accumulate and are bounded by the
+// annotated vocabulary, so it terminates; the round bound is a
+// defensive backstop.
+func coordinatorReach(facts *Facts, roles shardRoles) map[*funcNode]map[*funcNode]string {
+	reach := make(map[*funcNode]map[*funcNode]string)
+	record := func(n *funcNode, target *funcNode, via string) bool {
+		m := reach[n]
+		if m == nil {
+			m = make(map[*funcNode]string)
+			reach[n] = m
+		}
+		if _, ok := m[target]; ok {
+			return false
+		}
+		m[target] = via
+		return true
+	}
+	for round := 0; round <= len(facts.nodes); round++ {
+		changed := false
+		for _, n := range facts.nodes {
+			if roles.kind(n) == roleHandoff {
+				continue // callers stop at handoffs; no propagation out
+			}
+			for _, cs := range n.calls {
+				callee := cs.callee
+				switch roles.kind(callee) {
+				case roleHandoff:
+					continue
+				case roleCoordinator:
+					if record(n, callee, "") {
+						changed = true
+					}
+					continue
+				}
+				for _, t := range sortedReach(reach[callee]) {
+					via := callee.name
+					if t.via != "" {
+						via += " -> " + t.via
+					}
+					if record(n, t.node, via) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return reach
+}
+
+// sortedReach renders a reach map in deterministic (name, via) order
+// so diagnostics and golden files are stable across runs.
+func sortedReach(m map[*funcNode]string) []coordTarget {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]coordTarget, 0, len(m))
+	for n, via := range m {
+		out = append(out, coordTarget{node: n, via: via})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].node.name != out[j].node.name {
+			return out[i].node.name < out[j].node.name
+		}
+		return out[i].via < out[j].via
+	})
+	return out
+}

@@ -1,0 +1,77 @@
+// Package shardsafety is the rrlint fixture for the shardsafety
+// check: a core-phase function calling coordinator-only code directly
+// (finding), one reaching it through a chain of unannotated helpers
+// (finding with a via chain), a clean path through an epoch handoff —
+// including a handoff whose own body replays into coordinator code —
+// and a suppressed call.
+package shardsafety
+
+type sys struct {
+	seq    uint64
+	staged []uint64
+}
+
+// pushEvent schedules on the machine-global event heap.
+//
+//rrlint:coordinator
+func (s *sys) pushEvent(id uint64) {
+	s.seq++
+	_ = id
+}
+
+// bump advances the machine-global sequence directly.
+//
+//rrlint:coordinator
+func (s *sys) bump() {
+	s.seq++
+}
+
+// complete is the epoch handoff for event scheduling: during the core
+// phase it stages, at the barrier it replays into pushEvent. Callers
+// stop here; the internal pushEvent call is the replay path.
+//
+//rrlint:handoff
+func (s *sys) complete(id uint64, staged bool) {
+	if staged {
+		s.staged = append(s.staged, id)
+		return
+	}
+	s.pushEvent(id)
+}
+
+// tickDirect runs on shard workers but schedules directly: finding.
+//
+//rrlint:shardphase
+func (s *sys) tickDirect() {
+	s.pushEvent(1) // want: calls coordinator-only
+}
+
+// tickViaHelper reaches the coordinator through two unannotated
+// frames: finding, reported here with the via chain.
+//
+//rrlint:shardphase
+func (s *sys) tickViaHelper() {
+	s.helper() // want: reaches coordinator-only via helper -> deeper
+}
+
+func (s *sys) helper() {
+	s.deeper()
+}
+
+func (s *sys) deeper() {
+	s.bump()
+}
+
+// tickStaged funnels everything through the handoff: clean.
+//
+//rrlint:shardphase
+func (s *sys) tickStaged() {
+	s.complete(2, true)
+}
+
+// tickAllowed is an acknowledged exception: suppressed at the call.
+//
+//rrlint:shardphase
+func (s *sys) tickAllowed() {
+	s.bump() //rrlint:allow shardsafety -- fixture: single-shard-only diagnostic path
+}

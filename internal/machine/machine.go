@@ -52,6 +52,16 @@ type Config struct {
 	// determinism regression tests prove by flipping this switch — so
 	// the flag exists for those tests and for debugging.
 	NoFastForward bool
+
+	// Shards spreads the per-cycle core phase (pipeline tick + L1
+	// submits + recorder tick) over this many goroutines, each owning a
+	// contiguous range of cores, with an epoch barrier at every cycle
+	// boundary. Sharding never changes observable behaviour: cycle
+	// counts, statistics and recorded logs are byte-identical to the
+	// serial loop (see DESIGN.md §19). 0 or 1 means serial; values
+	// above Cores are clamped. Telemetry tracing forces serial, since
+	// the tracer's event stream is not shard-safe.
+	Shards int
 }
 
 // DefaultConfig returns the paper's Table 1 machine with the given
@@ -77,7 +87,15 @@ type Machine struct {
 	// recorder uses it to stamp PISNs at the true perform time.
 	PerformSink func(ev coherence.PerformEvent)
 
+	// ExtraTick, when set, runs for every core right after that core's
+	// pipeline tick, inside the core phase (so on the owning shard when
+	// sharded). The recording session hangs the per-core recorder tick
+	// here; it must touch only state owned by that core.
+	ExtraTick func(core int, cycle uint64)
+
 	ffSkipped uint64 // cycles skipped by fast-forward (see SkipTo)
+
+	pool *shardPool // non-nil only inside a sharded RunWith
 
 	samp sampler
 }
@@ -165,15 +183,24 @@ func (m *Machine) InitMemory(words map[uint64]uint64) {
 // SetInputs provides core's external input stream (consumed by IN).
 func (m *Machine) SetInputs(core int, in []uint64) { m.Cores[core].SetInputs(in) }
 
-// Step advances the machine one cycle.
+// Step advances the machine one cycle. Inside a sharded RunWith the
+// core phase fans out to the shard workers; otherwise the cores tick
+// in order on the calling goroutine.
 func (m *Machine) Step() {
+	if m.pool != nil {
+		m.stepSharded()
+		return
+	}
 	m.cycle++
 	m.Sys.Tick()
 	for _, ev := range m.Sys.DrainCompletions() {
 		m.Cores[ev.Core].HandleCompletion(ev)
 	}
-	for _, c := range m.Cores {
+	for i, c := range m.Cores {
 		c.Tick(m.cycle)
+		if m.ExtraTick != nil {
+			m.ExtraTick(i, m.cycle)
+		}
 	}
 	if m.samp.every != 0 && m.cycle%m.samp.every == 0 {
 		m.SampleTelemetry()
@@ -204,9 +231,17 @@ func (m *Machine) SampleTelemetry() {
 // WorkCount sums the state-mutation counters of every core and the
 // memory system. A tick across which it does not move touched no
 // architectural state: only the clock and per-cycle statistics (stall
-// tallies, occupancy sums) advanced.
+// tallies, occupancy sums) advanced. When sharded, the per-core sums
+// come from the per-shard aggregates the workers computed at the last
+// epoch barrier, so the coordinator's check stays O(shards).
 func (m *Machine) WorkCount() uint64 {
 	w := m.Sys.WorkCount()
+	if p := m.pool; p != nil {
+		for _, sw := range p.work {
+			w += sw
+		}
+		return w
+	}
 	for _, c := range m.Cores {
 		w += c.WorkCount()
 	}
@@ -227,9 +262,17 @@ func (m *Machine) FastForwardEnabled() bool {
 // event. ok is false when nothing is pending anywhere — the machine is
 // deadlocked and only MaxCycles will end the run.
 func (m *Machine) NextWakeCycle() (wake uint64, ok bool) {
-	for _, c := range m.Cores {
-		if t, o := c.NextWake(); o && (!ok || t < wake) {
-			wake, ok = t, true
+	if p := m.pool; p != nil {
+		for w := range p.wake {
+			if p.wakeOK[w] && (!ok || p.wake[w] < wake) {
+				wake, ok = p.wake[w], true
+			}
+		}
+	} else {
+		for _, c := range m.Cores {
+			if t, o := c.NextWake(); o && (!ok || t < wake) {
+				wake, ok = t, true
+			}
 		}
 	}
 	if t, o := m.Sys.NextEventCycle(); o && (!ok || t < wake) {
@@ -325,51 +368,11 @@ func (e *StallError) Error() string {
 // The result is bit-identical to ticking: same cycle counts, same
 // statistics, same recorded logs, just without simulating cycles in
 // which nothing happens.
+//
+// Run is RunWith with an empty Driver; the recording session layers
+// its recorder hooks on the same loop (see Driver).
 func (m *Machine) Run() error {
-	ff := m.FastForwardEnabled()
-	prev := m.WorkCount()
-	var snap StatsSnapshot
-	for !m.Done() {
-		if m.cycle >= m.cfg.MaxCycles {
-			m.SampleTelemetry()
-			return &StallError{Cycles: m.cfg.MaxCycles, Cores: m.snapshotCores()}
-		}
-		m.Step()
-		for _, c := range m.Cores {
-			if err := c.Err(); err != nil {
-				return fmt.Errorf("machine: core %d: %w", c.ID(), err)
-			}
-		}
-		if !ff {
-			continue
-		}
-		w := m.WorkCount()
-		if w != prev || m.cycle >= m.cfg.MaxCycles {
-			prev = w
-			continue
-		}
-		// Frozen tick observed. Measure the per-cycle statistics delta
-		// over one more tick; if that one is frozen too, skip ahead.
-		m.CaptureStats(&snap)
-		m.Step()
-		if w2 := m.WorkCount(); w2 != w {
-			prev = w2
-			continue
-		}
-		target := m.cfg.MaxCycles
-		if wake, ok := m.NextWakeCycle(); ok && wake-1 < target {
-			// Resume ticking at wake-1 so the next Step lands exactly
-			// on the wake cycle.
-			target = wake - 1
-		}
-		if target > m.cycle {
-			m.ReplayIdleDelta(&snap, target-m.cycle)
-			m.SkipTo(target)
-		}
-		prev = w
-	}
-	m.SampleTelemetry()
-	return nil
+	return m.RunWith(Driver{})
 }
 
 // CoreSnapshots exposes the per-core stall snapshot for callers that

@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"sync"
+
+	"relaxreplay/internal/coherence"
+)
+
+// shardPool runs the per-cycle core phase across worker goroutines,
+// each owning a contiguous range of cores (pipeline + L1 submit path +
+// recorder via ExtraTick). The coordinator (the goroutine inside
+// RunWith) runs the memory phase of every cycle serially, then signals
+// the workers and blocks until all have finished their cores — a full
+// barrier per cycle. The channel handoffs give the epoch its
+// happens-before edges: everything a worker wrote before its done-send
+// is visible to the coordinator, and everything the coordinator wrote
+// before the start-send is visible to the workers. Between epochs the
+// workers are parked, so the coordinator may read and write any core
+// state directly (Done, CaptureStats, ReplayIdleDelta, the Driver
+// hooks) without synchronization.
+type shardPool struct {
+	lo, hi []int           // core range [lo[w], hi[w]) owned by worker w
+	start  []chan struct{} // per-worker epoch kickoff
+	done   chan struct{}   // shared completion funnel
+	wg     sync.WaitGroup
+
+	// compl holds the cycle's drained completions; workers filter it
+	// for their own cores (completions are core-local to handle).
+	compl []coherence.Completion
+
+	// Per-shard aggregates, written by worker w at the end of each
+	// epoch and folded by WorkCount/NextWakeCycle on the coordinator,
+	// so the fast-forward's per-cycle frozen check does not re-walk
+	// every core serially.
+	work   []uint64
+	wake   []uint64
+	wakeOK []bool
+}
+
+// effectiveShards resolves Config.Shards: clamped to the core count,
+// ≤1 means serial, and telemetry tracing forces serial (the tracer's
+// buffer is not shard-safe; counters would be, but a traced run is
+// for observation, not throughput).
+func (m *Machine) effectiveShards() int {
+	n := m.cfg.Shards
+	if n > m.cfg.Cores {
+		n = m.cfg.Cores
+	}
+	if m.cfg.Telemetry != nil {
+		n = 1
+	}
+	return n
+}
+
+// startShards launches the worker pool when the configuration asks
+// for a sharded run. Idempotent; serial configurations are a no-op.
+func (m *Machine) startShards() {
+	n := m.effectiveShards()
+	if n <= 1 || m.pool != nil {
+		return
+	}
+	p := &shardPool{
+		lo:     make([]int, n),
+		hi:     make([]int, n),
+		start:  make([]chan struct{}, n),
+		done:   make(chan struct{}, n),
+		work:   make([]uint64, n),
+		wake:   make([]uint64, n),
+		wakeOK: make([]bool, n),
+	}
+	for w := 0; w < n; w++ {
+		p.lo[w] = w * m.cfg.Cores / n
+		p.hi[w] = (w + 1) * m.cfg.Cores / n
+		p.start[w] = make(chan struct{}, 1)
+		// Seed the aggregates from the current state so WorkCount and
+		// NextWakeCycle answer correctly before the first epoch (the
+		// machine may have been stepped serially already).
+		for i := p.lo[w]; i < p.hi[w]; i++ {
+			c := m.Cores[i]
+			p.work[w] += c.WorkCount()
+			if t, o := c.NextWake(); o && (!p.wakeOK[w] || t < p.wake[w]) {
+				p.wake[w], p.wakeOK[w] = t, true
+			}
+		}
+	}
+	m.pool = p
+	for w := 0; w < n; w++ {
+		p.wg.Add(1)
+		go m.shardWorker(p, w)
+	}
+}
+
+// stopShards shuts the pool down and returns the machine to serial
+// stepping. Safe to call when no pool is running.
+func (m *Machine) stopShards() {
+	p := m.pool
+	if p == nil {
+		return
+	}
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.wg.Wait()
+	m.pool = nil
+}
+
+// shardWorker is worker w's epoch loop: on each start signal it
+// handles its cores' completions, ticks its cores (and their
+// recorders via ExtraTick), refreshes its per-shard aggregates, and
+// reports the barrier. It exits when startShards's channel is closed
+// by stopShards, which then joins it via the WaitGroup.
+//
+// Everything touched here is owned by this worker's cores: pipeline
+// state, L1 state (the submit path stages its cross-core effects —
+// see coherence.BeginCorePhase), recorder state. The only shared
+// reads are immutable-for-the-epoch coordinator writes (m.cycle,
+// p.compl) sequenced by the start-channel handoff.
+//
+//rrlint:shardphase
+func (m *Machine) shardWorker(p *shardPool, w int) {
+	defer p.wg.Done()
+	lo, hi := p.lo[w], p.hi[w]
+	for range p.start[w] {
+		cycle := m.cycle
+		for _, ev := range p.compl {
+			if ev.Core >= lo && ev.Core < hi {
+				m.Cores[ev.Core].HandleCompletion(ev)
+			}
+		}
+		var work uint64
+		var wake uint64
+		var wakeOK bool
+		for i := lo; i < hi; i++ {
+			c := m.Cores[i]
+			c.Tick(cycle)
+			if m.ExtraTick != nil {
+				m.ExtraTick(i, cycle)
+			}
+			work += c.WorkCount()
+			if t, o := c.NextWake(); o && (!wakeOK || t < wake) {
+				wake, wakeOK = t, true
+			}
+		}
+		p.work[w], p.wake[w], p.wakeOK[w] = work, wake, wakeOK
+		p.done <- struct{}{}
+	}
+}
+
+// stepSharded is one epoch: the serial memory phase, a fanned-out
+// core phase, and the staged-effect flush that makes the cycle's
+// event ordering byte-identical to the serial loop.
+func (m *Machine) stepSharded() {
+	p := m.pool
+	m.cycle++
+	m.Sys.Tick()
+	p.compl = m.Sys.DrainCompletions()
+	m.Sys.BeginCorePhase()
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	for range p.start {
+		<-p.done
+	}
+	m.Sys.EndCorePhase()
+	if m.samp.every != 0 && m.cycle%m.samp.every == 0 {
+		m.SampleTelemetry()
+	}
+}
